@@ -1,0 +1,374 @@
+package nsr
+
+// One benchmark per paper table/figure (Figure 13 baseline, Figures 14–20
+// sensitivity sweeps, appendix theorem), plus micro-benchmarks for the
+// substrates. Each figure benchmark regenerates the full table per
+// iteration and reports headline scalars via ReportMetric; the textual
+// tables themselves come from cmd/nsr-report.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/closedform"
+	"repro/internal/core"
+	"repro/internal/erasure"
+	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/rebuild"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+func BenchmarkFig13Baseline(b *testing.B) {
+	p := params.Baseline()
+	var ft2ir5 float64
+	for i := 0; i < b.N; i++ {
+		_, results, err := experiments.Fig13Baseline(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ft2ir5 = results[4].EventsPerPBYear // FT 2, Internal RAID 5
+	}
+	b.ReportMetric(ft2ir5, "FT2-IR5-events/PB-yr")
+}
+
+func benchSweep(b *testing.B, gen func(params.Parameters) (*experiments.Table, []core.SweepPoint, error)) {
+	b.Helper()
+	p := params.Baseline()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t, _, err := gen(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkFig14DriveMTTF(b *testing.B) {
+	p := params.Baseline()
+	var tables int
+	for i := 0; i < b.N; i++ {
+		ts, err := experiments.Fig14DriveMTTF(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tables = len(ts)
+	}
+	b.ReportMetric(float64(tables), "tables")
+}
+
+func BenchmarkFig15NodeMTTF(b *testing.B) {
+	p := params.Baseline()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15NodeMTTF(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16RebuildBlock(b *testing.B) {
+	benchSweep(b, experiments.Fig16RebuildBlockSize)
+}
+
+func BenchmarkFig17LinkSpeed(b *testing.B) {
+	benchSweep(b, experiments.Fig17LinkSpeed)
+}
+
+func BenchmarkFig18NodeSetSize(b *testing.B) {
+	benchSweep(b, experiments.Fig18NodeSetSize)
+}
+
+func BenchmarkFig19RedundancySetSize(b *testing.B) {
+	benchSweep(b, experiments.Fig19RedundancySetSize)
+}
+
+func BenchmarkFig20DrivesPerNode(b *testing.B) {
+	benchSweep(b, experiments.Fig20DrivesPerNode)
+}
+
+func BenchmarkAppendixGeneralK(b *testing.B) {
+	p := params.Baseline()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AppendixGeneralK(p, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorValidation runs the accelerated DES-vs-chain
+// comparison (the experiment behind cmd/nsr-simulate -mode des).
+func BenchmarkSimulatorValidation(b *testing.B) {
+	sc := sim.Scenario{
+		N: 8, R: 4, D: 3, T: 1,
+		LambdaN: 1e-3, LambdaD: 2e-3, MuN: 2, MuD: 5,
+		CHER: 0.01, Repair: sim.RepairExponential,
+	}
+	rng := rand.New(rand.NewSource(1))
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		est, err := sim.EstimateMTTDL(sc, rng, 200, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = est.MeanHours
+	}
+	b.ReportMetric(mean, "MTTDL-h")
+}
+
+// BenchmarkBiasedRareEvent measures the balanced-failure-biasing estimator
+// on the baseline FT2-NIR chain (MTTDL ≈ 2×10⁷ h).
+func BenchmarkBiasedRareEvent(b *testing.B) {
+	p := params.Baseline()
+	rates := rebuild.Compute(p, 2)
+	in := closedform.NIRInputs{
+		N: p.NodeSetSize, R: p.RedundancySetSize, D: p.DrivesPerNode,
+		LambdaN: p.NodeFailureRate(), LambdaD: p.DriveFailureRate(),
+		MuN: rates.NodeRebuild, MuD: rates.DriveRebuild, CHER: p.CHER(),
+	}
+	ch := model.NIRChain(in, 2)
+	th := sim.RepairThreshold(ch)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.EstimateMTTABiased(ch, rng, 2000, 0.5, th); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkChainSolveNIR(b *testing.B) {
+	p := params.Baseline()
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		b.Run(map[int]string{1: "k=1", 2: "k=2", 3: "k=3", 4: "k=4", 5: "k=5"}[k], func(b *testing.B) {
+			rates := rebuild.Compute(p, min(k, 3))
+			in := closedform.NIRInputs{
+				N: p.NodeSetSize, R: p.RedundancySetSize, D: p.DrivesPerNode,
+				LambdaN: p.NodeFailureRate(), LambdaD: p.DriveFailureRate(),
+				MuN: rates.NodeRebuild, MuD: rates.DriveRebuild, CHER: p.CHER(),
+			}
+			ch := model.NIRChain(in, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := markov.MTTA(ch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClosedFormGeneralK(b *testing.B) {
+	p := params.Baseline()
+	rates := rebuild.Compute(p, 3)
+	in := closedform.NIRInputs{
+		N: p.NodeSetSize, R: p.RedundancySetSize, D: p.DrivesPerNode,
+		LambdaN: p.NodeFailureRate(), LambdaD: p.DriveFailureRate(),
+		MuN: rates.NodeRebuild, MuD: rates.DriveRebuild, CHER: p.CHER(),
+	}
+	var out float64
+	for i := 0; i < b.N; i++ {
+		out = closedform.NIRMTTDLGeneral(in, 3)
+	}
+	b.ReportMetric(out, "MTTDL-h")
+}
+
+func BenchmarkLUSolve64(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	m := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := rng.Float64()
+				m.Set(i, j, v)
+				sum += v
+			}
+		}
+		m.Set(i, i, sum+1)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.Solve(m, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureEncode(b *testing.B) {
+	code, err := erasure.New(6, 2) // paper geometry at FT 2
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := make([][]byte, code.TotalShards())
+	rng := rand.New(rand.NewSource(4))
+	const shardSize = 64 << 10
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+		if i < code.DataShards() {
+			rng.Read(shards[i])
+		}
+	}
+	b.SetBytes(int64(code.DataShards() * shardSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := code.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureReconstruct(b *testing.B) {
+	code, err := erasure.New(6, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := make([][]byte, code.TotalShards())
+	rng := rand.New(rand.NewSource(5))
+	const shardSize = 64 << 10
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+		if i < code.DataShards() {
+			rng.Read(shards[i])
+		}
+	}
+	if err := code.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(2 * shardSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saved0, saved3 := shards[0], shards[3]
+		shards[0], shards[3] = nil, nil
+		if err := code.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+		_ = saved0
+		_ = saved3
+	}
+}
+
+func BenchmarkAnalyzeExactChain(b *testing.B) {
+	p := params.Baseline()
+	cfg := core.Config{Internal: core.InternalNone, NodeFaultTolerance: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(p, cfg, core.MethodExactChain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecursiveVsLU contrasts the appendix's determinant recursion
+// (O(2^k), cancellation-free) with the dense solve (O(8^k)) at k=5.
+func BenchmarkRecursiveExactK5(b *testing.B) {
+	p := params.Baseline()
+	rates := rebuild.Compute(p, 3)
+	in := closedform.NIRInputs{
+		N: p.NodeSetSize, R: p.RedundancySetSize, D: p.DrivesPerNode,
+		LambdaN: p.NodeFailureRate(), LambdaD: p.DriveFailureRate(),
+		MuN: rates.NodeRebuild, MuD: rates.DriveRebuild, CHER: p.CHER(),
+	}
+	var out float64
+	for i := 0; i < b.N; i++ {
+		out = closedform.NIRMTTDLRecursive(in, 5)
+	}
+	b.ReportMetric(out, "MTTDL-h")
+}
+
+// BenchmarkMissionTransient measures the uniformization path behind the
+// mission-reliability table.
+func BenchmarkMissionTransient(b *testing.B) {
+	p := params.Baseline()
+	cfg := core.Config{Internal: core.InternalNone, NodeFaultTolerance: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MissionSurvival(p, cfg, 5*params.HoursPerYear, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScrubSweep measures the latent-fault scrub-interval study.
+func BenchmarkScrubSweep(b *testing.B) {
+	p := params.Baseline()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationScrub(p, 1.0/params.HoursPerYear); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGenerateReplay measures a full trace round: generate a
+// 5-year fleet trace and replay it against the brick store.
+func BenchmarkTraceGenerateReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(trace.GenerateOptions{
+			Nodes: 16, DrivesPerNode: 4,
+			NodeMTTFHours: 400_000, DriveMTTFHours: 300_000,
+			LatentFaultsPerDriveHour: 1e-5,
+			HorizonHours:             5 * params.HoursPerYear,
+			Seed:                     int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := storage.NewSystem(storage.Config{
+			Nodes: 16, DrivesPerNode: 4,
+			RedundancySetSize: 8, FaultTolerance: 2,
+			DriveCapacityBytes: 8 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 16; j++ {
+			if err := sys.Put(fmt.Sprintf("o%d", j), make([]byte, 8<<10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := trace.Replay(tr, sys, trace.Policy{
+			RebuildAfterEachFailure: true, ScrubEveryHours: 720,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorageRebuild measures the distributed rebuild data path.
+func BenchmarkStorageRebuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := storage.NewSystem(storage.Config{
+			Nodes: 16, DrivesPerNode: 4,
+			RedundancySetSize: 8, FaultTolerance: 2,
+			DriveCapacityBytes: 64 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 32; j++ {
+			if err := sys.Put(fmt.Sprintf("o%d", j), make([]byte, 64<<10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sys.FailNode(i % 16); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := sys.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

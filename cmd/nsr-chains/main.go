@@ -1,0 +1,133 @@
+// Command nsr-chains inspects the Markov chains behind a configuration:
+// a structural summary, the dominant degraded states, and optionally the
+// full chain in Graphviz dot form.
+//
+// Usage:
+//
+//	nsr-chains [-internal none|raid5|raid6] [-ft 2] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/closedform"
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/rebuild"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsr-chains:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	internal := flag.String("internal", "none", "internal redundancy: none, raid5 or raid6")
+	ft := flag.Int("ft", 2, "inter-node fault tolerance")
+	dot := flag.Bool("dot", false, "emit the chain in Graphviz dot form")
+	sens := flag.Bool("sens", false, "print per-transition MTTDL sensitivities (adjoint method)")
+	flag.Parse()
+
+	var ir core.InternalRedundancy
+	switch *internal {
+	case "none":
+		ir = core.InternalNone
+	case "raid5":
+		ir = core.InternalRAID5
+	case "raid6":
+		ir = core.InternalRAID6
+	default:
+		return fmt.Errorf("unknown internal redundancy %q", *internal)
+	}
+	cfg := core.Config{Internal: ir, NodeFaultTolerance: *ft}
+	p := params.Baseline()
+	chain, err := buildChain(p, cfg)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(chain.DOT(cfg.String()))
+		return nil
+	}
+
+	s := chain.Summarize()
+	fmt.Printf("%s\n", cfg)
+	fmt.Printf("states: %d (%d transient, %d absorbing), transitions: %d\n",
+		s.States, s.Transient, s.Absorbing, s.Transitions)
+	fmt.Printf("rate span: %.3g .. %.3g per hour (stiffness %.3g)\n",
+		s.MinRate, s.MaxRate, s.MaxRate/s.MinRate)
+
+	mttdl, err := markov.MTTA(chain)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact MTTDL: %.4g h\n", mttdl)
+
+	top, err := markov.TopStatesByTime(chain, 6)
+	if err != nil {
+		return err
+	}
+	visits, err := markov.ExpectedVisits(chain)
+	if err != nil {
+		return err
+	}
+	res, err := markov.Absorption(chain)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ndominant states (by expected time before data loss):")
+	fmt.Printf("%-8s  %14s  %16s\n", "state", "time (h)", "expected visits")
+	for _, name := range top {
+		fmt.Printf("%-8s  %14.5g  %16.5g\n", name, res.TimeInState[name], visits[name])
+	}
+
+	if *sens {
+		all, err := markov.RateSensitivities(chain)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nmost influential transitions (d log MTTDL / d log rate):")
+		fmt.Printf("%-8s  %-8s  %12s  %12s\n", "from", "to", "rate (/h)", "elasticity")
+		for i, s := range all {
+			if i == 10 {
+				break
+			}
+			fmt.Printf("%-8s  %-8s  %12.4g  %+12.4f\n", s.From, s.To, s.Rate, s.Elasticity)
+		}
+	}
+	return nil
+}
+
+func buildChain(p params.Parameters, cfg core.Config) (*markov.Chain, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rates := rebuild.Compute(p, cfg.NodeFaultTolerance)
+	if cfg.Internal == core.InternalNone {
+		in := closedform.NIRInputs{
+			N: p.NodeSetSize, R: p.RedundancySetSize, D: p.DrivesPerNode,
+			LambdaN: p.NodeFailureRate(), LambdaD: p.DriveFailureRate(),
+			MuN: rates.NodeRebuild, MuD: rates.DriveRebuild, CHER: p.CHER(),
+		}
+		return model.NIRChain(in, cfg.NodeFaultTolerance), nil
+	}
+	m := cfg.Internal.ParityDrives()
+	arr := closedform.ArrayInputs{
+		D: p.DrivesPerNode, LambdaD: p.DriveFailureRate(),
+		MuD: rates.Restripe, CHER: p.CHER(),
+	}
+	in := closedform.IRInputs{
+		N: p.NodeSetSize, R: p.RedundancySetSize,
+		LambdaN:      p.NodeFailureRate(),
+		LambdaArray:  closedform.ArrayFailureRate(m, arr),
+		LambdaSector: closedform.SectorErrorRate(m, arr),
+		MuN:          rates.NodeRebuild,
+	}
+	return model.IRChain(in, cfg.NodeFaultTolerance), nil
+}

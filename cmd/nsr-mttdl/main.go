@@ -1,0 +1,94 @@
+// Command nsr-mttdl analyzes one redundancy configuration and prints the
+// result as JSON — the scripting-friendly entry point.
+//
+// Usage:
+//
+//	nsr-mttdl [-internal none|raid5|raid6] [-ft 2] [-method closed-form]
+//	          [-node-mttf h] [-drive-mttf h] [-n 64] [-r 8] [-d 12]
+//	          [-block bytes] [-link gbps]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/params"
+)
+
+// output is the JSON document printed on success.
+type output struct {
+	Configuration   string  `json:"configuration"`
+	Method          string  `json:"method"`
+	MTTDLHours      float64 `json:"mttdl_hours"`
+	MTTDLYears      float64 `json:"mttdl_years"`
+	EventsPerPBYear float64 `json:"events_per_pb_year"`
+	CapacityPB      float64 `json:"logical_capacity_pb"`
+	MeetsTarget     bool    `json:"meets_paper_target"`
+	TargetMargin    float64 `json:"target_margin"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsr-mttdl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p := params.Baseline()
+	internal := flag.String("internal", "raid5", "internal redundancy: none, raid5 or raid6")
+	ft := flag.Int("ft", 2, "inter-node fault tolerance")
+	methodName := flag.String("method", "closed-form", "closed-form, exact-chain or exact-stable")
+	flag.Float64Var(&p.NodeMTTFHours, "node-mttf", p.NodeMTTFHours, "node MTTF in hours")
+	flag.Float64Var(&p.DriveMTTFHours, "drive-mttf", p.DriveMTTFHours, "drive MTTF in hours")
+	flag.IntVar(&p.NodeSetSize, "n", p.NodeSetSize, "node set size")
+	flag.IntVar(&p.RedundancySetSize, "r", p.RedundancySetSize, "redundancy set size")
+	flag.IntVar(&p.DrivesPerNode, "d", p.DrivesPerNode, "drives per node")
+	flag.Float64Var(&p.RebuildCommandBytes, "block", p.RebuildCommandBytes, "rebuild command size in bytes")
+	flag.Float64Var(&p.LinkSpeedGbps, "link", p.LinkSpeedGbps, "link speed in Gb/s")
+	flag.Parse()
+
+	var ir core.InternalRedundancy
+	switch *internal {
+	case "none":
+		ir = core.InternalNone
+	case "raid5":
+		ir = core.InternalRAID5
+	case "raid6":
+		ir = core.InternalRAID6
+	default:
+		return fmt.Errorf("unknown internal redundancy %q", *internal)
+	}
+	var method core.Method
+	switch *methodName {
+	case "closed-form":
+		method = core.MethodClosedForm
+	case "exact-chain":
+		method = core.MethodExactChain
+	case "exact-stable":
+		method = core.MethodExactStable
+	default:
+		return fmt.Errorf("unknown method %q", *methodName)
+	}
+	cfg := core.Config{Internal: ir, NodeFaultTolerance: *ft}
+	r, err := core.Analyze(p, cfg, method)
+	if err != nil {
+		return err
+	}
+	target := core.PaperTarget()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(output{
+		Configuration:   cfg.String(),
+		Method:          method.String(),
+		MTTDLHours:      r.MTTDLHours,
+		MTTDLYears:      r.MTTDLHours / params.HoursPerYear,
+		EventsPerPBYear: r.EventsPerPBYear,
+		CapacityPB:      r.LogicalCapacityPB,
+		MeetsTarget:     target.Meets(r),
+		TargetMargin:    target.Margin(r),
+	})
+}

@@ -1,0 +1,58 @@
+// Command nsr-plan sizes the fail-in-place over-provisioning of Section 3:
+// how much spare capacity a brick fleet needs to survive a mission without
+// service actions, and when spare nodes must be added.
+//
+// Usage:
+//
+//	nsr-plan [-years 5] [-max-util 0.97] [-threshold 0.9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/params"
+	"repro/internal/spares"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsr-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	years := flag.Float64("years", 5, "mission length in years")
+	maxUtil := flag.Float64("max-util", 0.97, "maximum acceptable utilization at mission end")
+	threshold := flag.Float64("threshold", 0.9, "utilization threshold for adding spare nodes")
+	flag.Parse()
+
+	p := params.Baseline()
+	mission := *years * params.HoursPerYear
+
+	table, err := experiments.SparesPlan(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table)
+
+	u0, err := spares.RequiredInitialUtilization(p, mission, *maxUtil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("required initial utilization for a %.1f-year mission at ≤%.0f%%: %.1f%%\n",
+		*years, 100**maxUtil, 100*u0)
+
+	tCross, err := spares.TimeToUtilization(p, *threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("starting at %.0f%%, utilization crosses %.0f%% after %.1f years — add spare nodes by then\n",
+		100*p.CapacityUtilization, 100**threshold, tCross/params.HoursPerYear)
+	fmt.Printf("expected attrition by then: %.1f node failures, %.1f drive failures\n",
+		spares.ExpectedNodeFailures(p, tCross), spares.ExpectedDriveFailures(p, tCross))
+	return nil
+}

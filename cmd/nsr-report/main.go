@@ -1,0 +1,104 @@
+// Command nsr-report regenerates every table and figure of the paper's
+// evaluation in one pass — the data backing EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/params"
+	"repro/internal/rebuild"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsr-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	trials := flag.Int("trials", 1500, "simulation trials for the model-assumption ablation")
+	asJSON := flag.Bool("json", false, "emit all tables as a JSON document instead of text")
+	csvDir := flag.String("csv-dir", "", "also write each table to <dir>/<id>.csv")
+	flag.Parse()
+	p := params.Baseline()
+
+	if *asJSON || *csvDir != "" {
+		tables, err := experiments.All(p)
+		if err != nil {
+			return err
+		}
+		ablations, err := experiments.Ablations(p, *trials, 1)
+		if err != nil {
+			return err
+		}
+		all := append(tables, ablations...)
+		if *csvDir != "" {
+			if err := experiments.WriteCSVDir(*csvDir, all); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d CSV tables to %s\n", len(all), *csvDir)
+		}
+		if *asJSON {
+			data, err := experiments.EncodeJSON(all)
+			if err != nil {
+				return err
+			}
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	fmt.Println("Reproduction report: Reliability for Networked Storage Nodes (DSN 2006)")
+	fmt.Println()
+	fmt.Printf("baseline: N=%d R=%d d=%d, node MTTF %.0f h, drive MTTF %.0f h, C=%.0f GB\n",
+		p.NodeSetSize, p.RedundancySetSize, p.DrivesPerNode,
+		p.NodeMTTFHours, p.DriveMTTFHours, p.DriveCapacityBytes/params.GB)
+	rates := rebuild.Compute(p, 2)
+	nodeH, nodeB := rebuild.NodeRebuildTimeHours(p, 2)
+	fmt.Printf("rebuild model (FT 2): node rebuild %.2f h (%s-limited), drive rebuild %.2f h, restripe %.2f h\n",
+		nodeH, nodeB, 1/rates.DriveRebuild, 1/rates.Restripe)
+	fmt.Printf("link-speed crossover: %.2f Gb/s (paper: ~3 Gb/s)\n", rebuild.CrossoverLinkSpeedGbps(p, 2))
+	fmt.Println()
+
+	tables, err := experiments.All(p)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+
+	fmt.Println("--- ablations beyond the paper ---")
+	fmt.Println()
+	ablations, err := experiments.Ablations(p, *trials, 1)
+	if err != nil {
+		return err
+	}
+	for _, t := range ablations {
+		fmt.Println(t)
+	}
+
+	fmt.Println("--- degraded-mode exposure (exact chains) ---")
+	for _, cfg := range core.SensitivityConfigs() {
+		exp, err := core.Exposure(p, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp)
+	}
+	fmt.Println()
+
+	claims, err := experiments.ClaimsTable(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(claims)
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command nsr-sensitivity regenerates the paper's Section 7 sensitivity
+// analyses (Figures 14–20) for the three surviving configurations.
+//
+// Usage:
+//
+//	nsr-sensitivity             # all figures
+//	nsr-sensitivity -fig 16     # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/params"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsr-sensitivity:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.Int("fig", 0, "figure number 14..20 (0 = all)")
+	flag.Parse()
+	p := params.Baseline()
+
+	print2 := func(tables []*experiments.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		return nil
+	}
+	print1 := func(t *experiments.Table, _ interface{}, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}
+
+	run := map[int]func() error{
+		14: func() error { t, err := experiments.Fig14DriveMTTF(p); return print2(t, err) },
+		15: func() error { t, err := experiments.Fig15NodeMTTF(p); return print2(t, err) },
+		16: func() error { t, pts, err := experiments.Fig16RebuildBlockSize(p); return print1(t, pts, err) },
+		17: func() error { t, pts, err := experiments.Fig17LinkSpeed(p); return print1(t, pts, err) },
+		18: func() error { t, pts, err := experiments.Fig18NodeSetSize(p); return print1(t, pts, err) },
+		19: func() error { t, pts, err := experiments.Fig19RedundancySetSize(p); return print1(t, pts, err) },
+		20: func() error { t, pts, err := experiments.Fig20DrivesPerNode(p); return print1(t, pts, err) },
+	}
+	if *fig != 0 {
+		fn, ok := run[*fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %d (valid: 14..20)", *fig)
+		}
+		return fn()
+	}
+	for f := 14; f <= 20; f++ {
+		if err := run[f](); err != nil {
+			return err
+		}
+	}
+	return nil
+}

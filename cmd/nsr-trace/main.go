@@ -1,0 +1,182 @@
+// Command nsr-trace generates, inspects and replays component-failure
+// traces against the executable brick store.
+//
+// Usage:
+//
+//	nsr-trace -gen -out trace.csv [-nodes 16 -drives 4 -years 5 -seed 1]
+//	nsr-trace -stats trace.csv
+//	nsr-trace -replay trace.csv [-rebuild=true] [-scrub 720]
+//	nsr-trace -montecarlo 200 [-years 20]   # loss fraction across traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/params"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsr-trace:", err)
+		os.Exit(1)
+	}
+}
+
+var (
+	gen        = flag.Bool("gen", false, "generate a trace")
+	out        = flag.String("out", "", "output file for -gen (default stdout)")
+	statsFile  = flag.String("stats", "", "print a trace's event statistics")
+	replayFile = flag.String("replay", "", "replay a trace against a fresh store")
+	monte      = flag.Int("montecarlo", 0, "replay N random traces and report the loss fraction")
+
+	nodes     = flag.Int("nodes", 16, "nodes")
+	drives    = flag.Int("drives", 4, "drives per node")
+	years     = flag.Float64("years", 5, "mission length in years")
+	seed      = flag.Int64("seed", 1, "generation seed")
+	nodeMTTF  = flag.Float64("node-mttf", 400_000, "node MTTF (hours)")
+	driveMTTF = flag.Float64("drive-mttf", 300_000, "drive MTTF (hours)")
+	latent    = flag.Float64("latent", 0, "latent faults per drive-hour")
+	rebuild   = flag.Bool("rebuild", true, "rebuild after each failure during replay")
+	scrubH    = flag.Float64("scrub", 0, "scrub interval during replay (hours, 0 = never)")
+	rsetSize  = flag.Int("r", 8, "redundancy set size for replay")
+	ft        = flag.Int("ft", 2, "fault tolerance for replay")
+)
+
+func options(s int64) trace.GenerateOptions {
+	return trace.GenerateOptions{
+		Nodes: *nodes, DrivesPerNode: *drives,
+		NodeMTTFHours: *nodeMTTF, DriveMTTFHours: *driveMTTF,
+		LatentFaultsPerDriveHour: *latent,
+		HorizonHours:             *years * params.HoursPerYear,
+		Seed:                     s,
+	}
+}
+
+func newStore() (*storage.System, error) {
+	sys, err := storage.NewSystem(storage.Config{
+		Nodes: *nodes, DrivesPerNode: *drives,
+		RedundancySetSize: *rsetSize, FaultTolerance: *ft,
+		DriveCapacityBytes: 8 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 64; i++ {
+		if err := sys.Put(fmt.Sprintf("obj-%03d", i), make([]byte, 8<<10)); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func run() error {
+	flag.Parse()
+	switch {
+	case *gen:
+		return runGen()
+	case *statsFile != "":
+		return runStats(*statsFile)
+	case *replayFile != "":
+		return runReplay(*replayFile)
+	case *monte > 0:
+		return runMonteCarlo(*monte)
+	default:
+		flag.Usage()
+		return fmt.Errorf("pick one of -gen, -stats, -replay, -montecarlo")
+	}
+}
+
+func runGen() error {
+	tr, err := trace.Generate(options(*seed))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tr.WriteCSV(w)
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(f)
+}
+
+func runStats(path string) error {
+	tr, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	st := tr.Stats()
+	fmt.Printf("geometry: %d nodes × %d drives, horizon %.0f h\n", tr.Nodes, tr.DrivesPerNode, tr.HorizonHours)
+	fmt.Printf("events: %d node failures, %d drive failures, %d latent faults\n",
+		st.NodeFailures, st.DriveFailures, st.LatentFaults)
+	return nil
+}
+
+func runReplay(path string) error {
+	tr, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	*nodes, *drives = tr.Nodes, tr.DrivesPerNode
+	sys, err := newStore()
+	if err != nil {
+		return err
+	}
+	rep, err := trace.Replay(tr, sys, trace.Policy{
+		RebuildAfterEachFailure: *rebuild,
+		ScrubEveryHours:         *scrubH,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("applied %d events: %d rebuilds (%d shards), %d scrubs (%d latent repairs)\n",
+		rep.EventsApplied, rep.Rebuilds, rep.ShardsRebuilt, rep.Scrubs, rep.LatentRepaired)
+	fmt.Printf("objects lost: %d; unreadable at end: %d\n", rep.ObjectsLost, rep.UnreadableAtEnd)
+	return nil
+}
+
+func runMonteCarlo(n int) error {
+	lossTraces := 0
+	var totalEvents int
+	for s := 0; s < n; s++ {
+		tr, err := trace.Generate(options(int64(s)))
+		if err != nil {
+			return err
+		}
+		sys, err := newStore()
+		if err != nil {
+			return err
+		}
+		rep, err := trace.Replay(tr, sys, trace.Policy{
+			RebuildAfterEachFailure: *rebuild,
+			ScrubEveryHours:         *scrubH,
+		})
+		if err != nil {
+			return err
+		}
+		totalEvents += rep.EventsApplied
+		if rep.UnreadableAtEnd > 0 || rep.ObjectsLost > 0 {
+			lossTraces++
+		}
+	}
+	fmt.Printf("%d traces × %.1f years (%d nodes × %d drives, FT %d): %d with data loss (%.2f%%), %.1f events/trace\n",
+		n, *years, *nodes, *drives, *ft, lossTraces,
+		100*float64(lossTraces)/float64(n), float64(totalEvents)/float64(n))
+	return nil
+}

@@ -1,0 +1,62 @@
+package nsr_test
+
+import (
+	"fmt"
+	"log"
+
+	nsr "repro"
+)
+
+// Analyze the paper's recommended configuration against its reliability
+// target.
+func Example() {
+	p := nsr.Baseline()
+	cfg := nsr.Config{Internal: nsr.InternalRAID5, NodeFaultTolerance: 2}
+	r, err := nsr.Analyze(p, cfg, nsr.MethodClosedForm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.3g events/PB-year (meets target: %v)\n",
+		cfg, r.EventsPerPBYear, nsr.PaperTarget().Meets(r))
+	// Output:
+	// FT 2, Internal RAID 5: 5.55e-06 events/PB-year (meets target: true)
+}
+
+// Compare the paper's closed-form approximation with the exact chain
+// solution.
+func ExampleAnalyze_methods() {
+	p := nsr.Baseline()
+	cfg := nsr.Config{Internal: nsr.InternalNone, NodeFaultTolerance: 3}
+	cf, err := nsr.Analyze(p, cfg, nsr.MethodClosedForm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := nsr.Analyze(p, cfg, nsr.MethodExactStable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closed form %.3g h, exact %.3g h\n", cf.MTTDLHours, ex.MTTDLHours)
+	// Output:
+	// closed form 1.94e+11 h, exact 1.94e+11 h
+}
+
+// Every FT 1 configuration misses the target at baseline (Figure 13,
+// observation 1).
+func ExampleBaselineConfigs() {
+	p := nsr.Baseline()
+	target := nsr.PaperTarget()
+	for _, cfg := range nsr.BaselineConfigs() {
+		if cfg.NodeFaultTolerance != 1 {
+			continue
+		}
+		r, err := nsr.Analyze(p, cfg, nsr.MethodClosedForm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: meets=%v\n", cfg, target.Meets(r))
+	}
+	// Output:
+	// FT 1, No Internal RAID: meets=false
+	// FT 1, Internal RAID 5: meets=false
+	// FT 1, Internal RAID 6: meets=false
+}

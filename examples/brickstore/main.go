@@ -1,0 +1,85 @@
+// Brick store: drive the executable storage substrate end to end — write
+// objects across a collection of bricks, fail nodes and drives in place,
+// run distributed rebuilds, and verify that data survives exactly within
+// the configured fault tolerance.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/storage"
+)
+
+func main() {
+	sys, err := storage.NewSystem(storage.Config{
+		Nodes:              16,
+		DrivesPerNode:      4,
+		RedundancySetSize:  8,
+		FaultTolerance:     2,
+		DriveCapacityBytes: 64 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load the store.
+	rng := rand.New(rand.NewSource(42))
+	payloads := make(map[string][]byte)
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("object-%03d", i)
+		data := make([]byte, 16<<10+rng.Intn(64<<10))
+		rng.Read(data)
+		payloads[id] = data
+		if err := sys.Put(id, data); err != nil {
+			log.Fatalf("put %s: %v", id, err)
+		}
+	}
+	st := sys.Stats()
+	fmt.Printf("loaded %d objects, %.1f MiB across %d nodes\n",
+		st.Objects, float64(st.UsedBytes)/(1<<20), st.LiveNodes)
+
+	// Fail two nodes at once — within the fault tolerance, everything
+	// stays readable even before any rebuild runs.
+	for _, n := range []int{3, 11} {
+		if err := sys.FailNode(n); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("failed nodes 3 and 11: %d objects unreadable\n", len(sys.CheckAll()))
+
+	// Distributed rebuild restores full redundancy onto spare capacity.
+	stats, err := sys.Rebuild()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebuild: %d shards regenerated, %.1f MiB moved, %d objects lost\n",
+		stats.ShardsRebuilt, float64(stats.BytesMoved)/(1<<20), stats.ObjectsLost)
+
+	// Two further failures (fail-in-place continues) — still safe because
+	// redundancy was restored.
+	if err := sys.FailNode(7); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.FailDrive(5, 2); err != nil {
+		log.Fatal(err)
+	}
+	bad := sys.CheckAll()
+	fmt.Printf("failed node 7 and drive (5,2) after rebuild: %d objects unreadable\n", len(bad))
+
+	// Verify content integrity through the erasure decode path.
+	corrupted := 0
+	for id, want := range payloads {
+		got, err := sys.Get(id)
+		if err != nil || !bytes.Equal(got, want) {
+			corrupted++
+		}
+	}
+	fmt.Printf("content check: %d corrupted of %d\n", corrupted, len(payloads))
+
+	final := sys.Stats()
+	fmt.Printf("final state: %d live nodes, %d live drives, %.1f MiB spare left\n",
+		final.LiveNodes, final.LiveDrives, float64(final.SpareBytes)/(1<<20))
+}

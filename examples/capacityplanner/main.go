@@ -1,0 +1,64 @@
+// Capacity planner: given a reliability target and fleet parameters, rank
+// every redundancy configuration that meets the target by its usable
+// capacity (redundancy overhead differs between configurations), the way a
+// storage architect would choose a scheme.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	nsr "repro"
+)
+
+func main() {
+	target := flag.Float64("target", 2e-3, "max data-loss events per PB-year")
+	nodes := flag.Int("nodes", 64, "node set size")
+	drives := flag.Int("drives", 12, "drives per node")
+	driveMTTF := flag.Float64("drive-mttf", 300_000, "drive MTTF (hours)")
+	nodeMTTF := flag.Float64("node-mttf", 400_000, "node MTTF (hours)")
+	flag.Parse()
+
+	p := nsr.Baseline()
+	p.NodeSetSize = *nodes
+	p.DrivesPerNode = *drives
+	p.DriveMTTFHours = *driveMTTF
+	p.NodeMTTFHours = *nodeMTTF
+
+	goal := nsr.Target{EventsPerPBYear: *target}
+
+	results, err := nsr.AnalyzeAll(p, nsr.BaselineConfigs(), nsr.MethodClosedForm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var qualifying []nsr.Result
+	for _, r := range results {
+		if goal.Meets(r) {
+			qualifying = append(qualifying, r)
+		}
+	}
+	if len(qualifying) == 0 {
+		fmt.Printf("no configuration meets %.2g events/PB-year with these parameters\n", *target)
+		fmt.Println("try higher fault tolerance, better drives, or larger rebuild blocks")
+		return
+	}
+	// Rank by usable capacity (descending), i.e. least redundancy
+	// overhead that still meets the goal.
+	sort.Slice(qualifying, func(i, j int) bool {
+		return qualifying[i].LogicalCapacityPB > qualifying[j].LogicalCapacityPB
+	})
+
+	fmt.Printf("configurations meeting %.2g events/PB-year (best capacity first):\n\n", *target)
+	fmt.Printf("%-24s  %12s  %14s  %8s\n", "configuration", "capacity PB", "events/PB-yr", "margin")
+	for _, r := range qualifying {
+		fmt.Printf("%-24s  %12.4f  %14.3g  %7.0f×\n",
+			r.Config, r.LogicalCapacityPB, r.EventsPerPBYear, goal.Margin(r))
+	}
+	best := qualifying[0]
+	fmt.Printf("\nrecommendation: %s — %.1f%% of raw capacity usable, %0.f× margin\n",
+		best.Config,
+		100*best.LogicalCapacityPB*1e15/(float64(*nodes)*float64(*drives)*p.DriveCapacityBytes),
+		goal.Margin(best))
+}

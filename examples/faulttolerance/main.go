@@ -1,0 +1,47 @@
+// Fault-tolerance explorer: the paper prints closed forms for fault
+// tolerance 1–3; its appendix proves a general-k theorem. This example
+// evaluates both the theorem and the exact solutions out to k = 7, showing
+// how far each extra parity element buys reliability — and where the
+// approximation wobbles (k = 1 at baseline, where the h_N parameter
+// exceeds 1; see DESIGN.md). The exact numbers use the appendix's
+// determinant recursion in cancellation-free form (MethodExactStable),
+// which stays accurate where a dense solve of the 2^(k+1)-1-state chain
+// breaks down.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nsr "repro"
+)
+
+func main() {
+	p := nsr.Baseline()
+	target := nsr.PaperTarget()
+
+	fmt.Println("no internal RAID, erasure code fault tolerance k across nodes")
+	fmt.Printf("%3s  %16s  %16s  %10s  %14s  %6s\n",
+		"k", "closed form (h)", "exact stable (h)", "rel diff", "events/PB-yr", "meets")
+	for k := 1; k <= 7; k++ {
+		cfg := nsr.Config{Internal: nsr.InternalNone, NodeFaultTolerance: k}
+		cf, err := nsr.Analyze(p, cfg, nsr.MethodClosedForm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The cancellation-free appendix recursion stays accurate where
+		// the dense chain solve (MethodExactChain) exhausts float64
+		// around k = 6.
+		ex, err := nsr.Analyze(p, cfg, nsr.MethodExactStable)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := (cf.MTTDLHours - ex.MTTDLHours) / ex.MTTDLHours
+		fmt.Printf("%3d  %16.4g  %16.4g  %+9.1f%%  %14.3g  %6v\n",
+			k, cf.MTTDLHours, ex.MTTDLHours, 100*rel,
+			ex.EventsPerPBYear, target.Meets(ex))
+	}
+	fmt.Println("\neach +1 of fault tolerance buys ~3-4 orders of magnitude at baseline;")
+	fmt.Println("the k=1 closed form understates MTTDL because its uncorrectable-error")
+	fmt.Println("parameter h_N ≈ 2.0 is outside [0,1] at the paper's baseline.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: analyze one redundancy configuration against the paper's
+// reliability target using the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nsr "repro"
+)
+
+func main() {
+	p := nsr.Baseline()
+
+	// The configuration the paper ends up recommending: erasure code with
+	// fault tolerance 2 across nodes, RAID 5 inside each node.
+	cfg := nsr.Config{Internal: nsr.InternalRAID5, NodeFaultTolerance: 2}
+
+	result, err := nsr.Analyze(p, cfg, nsr.MethodClosedForm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	target := nsr.PaperTarget()
+	fmt.Printf("configuration:      %s\n", cfg)
+	fmt.Printf("MTTDL:              %.3g hours (%.3g years)\n",
+		result.MTTDLHours, result.MTTDLHours/8766)
+	fmt.Printf("logical capacity:   %.3f PB\n", result.LogicalCapacityPB)
+	fmt.Printf("reliability:        %.3g data-loss events per PB-year\n", result.EventsPerPBYear)
+	fmt.Printf("target (2e-3):      meets=%v, margin=%.0f×\n",
+		target.Meets(result), target.Margin(result))
+
+	// Cross-check the closed form against the exact Markov chain.
+	exact, err := nsr.Analyze(p, cfg, nsr.MethodExactChain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact chain MTTDL:  %.3g hours (closed form is %+.2f%% off)\n",
+		exact.MTTDLHours, 100*(result.MTTDLHours-exact.MTTDLHours)/exact.MTTDLHours)
+}

@@ -1,0 +1,116 @@
+// Package closedform implements the paper's closed-form MTTDL expressions:
+//
+//   - the internal RAID array formulas of Section 4 (RAID 5, RAID 6, and
+//     their generalization to m parity drives), together with the derived
+//     array failure rate λ_D and restripe sector-error rate λ_S;
+//   - the internal-RAID node-level formulas of Section 4.2 (fault
+//     tolerance 1–3 and general k);
+//   - the no-internal-RAID formulas of Sections 4.3/5.2 (Figure 12) and
+//     the general recursive theorem of the appendix (Figure A1).
+//
+// All rates are per hour and all results are hours, matching the module's
+// conventions. These are the approximations as printed in the paper; the
+// internal/model package provides the exact chain solutions they are
+// checked against.
+package closedform
+
+import (
+	"fmt"
+
+	"repro/internal/combinat"
+)
+
+// ArrayInputs parameterizes one internal RAID array.
+type ArrayInputs struct {
+	// D is the number of drives in the array.
+	D int
+	// LambdaD is the per-drive failure rate (1/MTTF_d).
+	LambdaD float64
+	// MuD is the restripe (repair) rate of the array.
+	MuD float64
+	// CHER is C·HER: expected hard errors per full-drive read.
+	CHER float64
+}
+
+func (in ArrayInputs) validate(minDrives int) {
+	if in.D < minDrives {
+		panic(fmt.Sprintf("closedform: array needs at least %d drives, got %d", minDrives, in.D))
+	}
+	if in.LambdaD <= 0 || in.MuD <= 0 || in.CHER < 0 {
+		panic(fmt.Sprintf("closedform: invalid array inputs %+v", in))
+	}
+}
+
+// RAID5MTTDLExact returns the exact MTTDL of the Figure 1 chain:
+//
+//	MTTDL = ((2d-1-dh)λ + μ) / (d(d-1)λ² + dλμh),  h = (d-1)·C·HER.
+func RAID5MTTDLExact(in ArrayInputs) float64 {
+	in.validate(2)
+	d := float64(in.D)
+	h := (d - 1) * in.CHER
+	num := (2*d-1-d*h)*in.LambdaD + in.MuD
+	den := d*(d-1)*in.LambdaD*in.LambdaD + d*in.LambdaD*in.MuD*h
+	return num / den
+}
+
+// RAID5MTTDL returns the paper's approximation:
+//
+//	MTTDL ≈ μ / (d(d-1)λ² + d(d-1)λμ·C·HER).
+func RAID5MTTDL(in ArrayInputs) float64 {
+	in.validate(2)
+	d := float64(in.D)
+	den := d * (d - 1) * in.LambdaD * (in.LambdaD + in.MuD*in.CHER)
+	return in.MuD / den
+}
+
+// RAID6MTTDL returns the paper's approximation:
+//
+//	MTTDL ≈ μ² / (d(d-1)(d-2)λ³ + d(d-1)(d-2)λ²μ·C·HER).
+func RAID6MTTDL(in ArrayInputs) float64 {
+	in.validate(3)
+	d := float64(in.D)
+	den := d * (d - 1) * (d - 2) * in.LambdaD * in.LambdaD * (in.LambdaD + in.MuD*in.CHER)
+	return in.MuD * in.MuD / den
+}
+
+// ArrayFailureRate returns λ_D for an internal RAID array with m parity
+// drives (m=1 is RAID 5, m=2 is RAID 6):
+//
+//	λ_D = d(d-1)···(d-m) · λ^(m+1) / μ^m.
+//
+// m = 0 means no redundancy: λ_D = d·λ.
+func ArrayFailureRate(m int, in ArrayInputs) float64 {
+	in.validate(m + 1)
+	if m < 0 {
+		panic(fmt.Sprintf("closedform: negative parity count %d", m))
+	}
+	out := combinat.FallingFactorial(float64(in.D), m+1)
+	for i := 0; i < m+1; i++ {
+		out *= in.LambdaD
+	}
+	for i := 0; i < m; i++ {
+		out /= in.MuD
+	}
+	return out
+}
+
+// SectorErrorRate returns λ_S, the rate of data-losing sector errors during
+// an internal-RAID re-stripe, for m parity drives:
+//
+//	λ_S = d(d-1)···(d-m) · λ^m · C·HER / μ^(m-1).
+//
+// It panics for m < 1 (an unprotected array has no restripe exposure term).
+func SectorErrorRate(m int, in ArrayInputs) float64 {
+	if m < 1 {
+		panic(fmt.Sprintf("closedform: SectorErrorRate requires m >= 1, got %d", m))
+	}
+	in.validate(m + 1)
+	out := combinat.FallingFactorial(float64(in.D), m+1) * in.CHER
+	for i := 0; i < m; i++ {
+		out *= in.LambdaD
+	}
+	for i := 0; i < m-1; i++ {
+		out /= in.MuD
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/closedform"
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/rebuild"
+)
+
+// Method selects how the node-level model is solved.
+type Method int
+
+const (
+	// MethodClosedForm evaluates the paper's printed approximations
+	// (Sections 4.2, 4.3, 5.2 and the appendix theorem). This is what the
+	// paper's figures use.
+	MethodClosedForm Method = iota + 1
+	// MethodExactChain builds the corresponding Markov chain and solves
+	// it exactly with dense linear algebra. The internal-array rates λ_D
+	// and λ_S feeding the hierarchical model are still the paper's closed
+	// forms (the hierarchy itself is the paper's modelling choice).
+	MethodExactChain
+	// MethodExactStable evaluates the same exact solutions through
+	// cancellation-free recurrences (the appendix's determinant recursion
+	// for no-internal-RAID; the classical first-passage recurrence for
+	// the internal-RAID birth-death chains). Numerically superior to the
+	// dense solve for deep fault tolerance.
+	MethodExactStable
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodClosedForm:
+		return "closed-form"
+	case MethodExactChain:
+		return "exact-chain"
+	case MethodExactStable:
+		return "exact-stable"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Result is the reliability analysis of one configuration.
+type Result struct {
+	Config Config
+	Params params.Parameters
+	Method Method
+
+	// MTTDLHours is the mean time to data loss of the whole system.
+	MTTDLHours float64
+	// EventsPerPBYear is the paper's headline metric: expected data-loss
+	// events per year, normalized per petabyte of logical capacity.
+	EventsPerPBYear float64
+	// LogicalCapacityPB is the user-visible capacity used for the
+	// normalization.
+	LogicalCapacityPB float64
+	// Rates records the repair rates the model used.
+	Rates rebuild.Rates
+	// ArrayFailureRate (λ_D) and SectorErrorRate (λ_S) are the internal
+	// array rates for RAID configurations (zero for InternalNone; λ_D
+	// then reports d·λ_d, the raw node drive failure load, for
+	// diagnostics).
+	ArrayFailureRate, SectorErrorRate float64
+}
+
+// Analyze computes the reliability of one configuration under the given
+// parameters.
+func Analyze(p params.Parameters, cfg Config, method Method) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	k := cfg.NodeFaultTolerance
+	switch {
+	case p.NodeSetSize <= k+1:
+		return Result{}, fmt.Errorf("core: node set size %d too small for fault tolerance %d", p.NodeSetSize, k)
+	case p.RedundancySetSize <= k:
+		return Result{}, fmt.Errorf("core: redundancy set size %d too small for fault tolerance %d", p.RedundancySetSize, k)
+	case cfg.Internal != InternalNone && p.DrivesPerNode <= cfg.Internal.ParityDrives():
+		return Result{}, fmt.Errorf("core: %d drives per node cannot form %s", p.DrivesPerNode, cfg.Internal)
+	}
+
+	rates := rebuild.Compute(p, k)
+	res := Result{
+		Config: cfg,
+		Params: p,
+		Method: method,
+		Rates:  rates,
+	}
+
+	var mttdl float64
+	if cfg.Internal == InternalNone {
+		in := closedform.NIRInputs{
+			N:       p.NodeSetSize,
+			R:       p.RedundancySetSize,
+			D:       p.DrivesPerNode,
+			LambdaN: p.NodeFailureRate(),
+			LambdaD: p.DriveFailureRate(),
+			MuN:     rates.NodeRebuild,
+			MuD:     rates.DriveRebuild,
+			CHER:    p.CHER(),
+		}
+		res.ArrayFailureRate = float64(p.DrivesPerNode) * p.DriveFailureRate()
+		switch method {
+		case MethodClosedForm:
+			mttdl = closedform.NIRMTTDLGeneral(in, k)
+		case MethodExactChain:
+			var err error
+			mttdl, err = markov.MTTA(model.NIRChain(in, k))
+			if err != nil {
+				return Result{}, fmt.Errorf("core: solving NIR chain: %w", err)
+			}
+		case MethodExactStable:
+			mttdl = closedform.NIRMTTDLRecursive(in, k)
+		default:
+			return Result{}, fmt.Errorf("core: unknown method %d", int(method))
+		}
+	} else {
+		m := cfg.Internal.ParityDrives()
+		arr := closedform.ArrayInputs{
+			D:       p.DrivesPerNode,
+			LambdaD: p.DriveFailureRate(),
+			MuD:     rates.Restripe,
+			CHER:    p.CHER(),
+		}
+		res.ArrayFailureRate = closedform.ArrayFailureRate(m, arr)
+		res.SectorErrorRate = closedform.SectorErrorRate(m, arr)
+		in := closedform.IRInputs{
+			N:            p.NodeSetSize,
+			R:            p.RedundancySetSize,
+			LambdaN:      p.NodeFailureRate(),
+			LambdaArray:  res.ArrayFailureRate,
+			LambdaSector: res.SectorErrorRate,
+			MuN:          rates.NodeRebuild,
+		}
+		switch method {
+		case MethodClosedForm:
+			mttdl = closedform.IRMTTDL(in, k)
+		case MethodExactChain:
+			var err error
+			mttdl, err = markov.MTTA(model.IRChain(in, k))
+			if err != nil {
+				return Result{}, fmt.Errorf("core: solving IR chain: %w", err)
+			}
+		case MethodExactStable:
+			mttdl = closedform.IRMTTDLExact(in, k)
+		default:
+			return Result{}, fmt.Errorf("core: unknown method %d", int(method))
+		}
+	}
+
+	if mttdl <= 0 || math.IsNaN(mttdl) || math.IsInf(mttdl, 0) {
+		return Result{}, fmt.Errorf("core: %v MTTDL %g is numerically unusable (float64 exhausted for this configuration; use MethodClosedForm)", cfg, mttdl)
+	}
+	res.MTTDLHours = mttdl
+	res.LogicalCapacityPB = LogicalCapacityPB(p, cfg)
+	res.EventsPerPBYear = params.HoursPerYear / mttdl / res.LogicalCapacityPB
+	return res, nil
+}
+
+// LogicalCapacityPB returns the user-visible capacity of the system in
+// petabytes: raw capacity × inter-node data fraction (R-t)/R × internal
+// array data fraction (d-m)/d × capacity utilization (the rest is
+// fail-in-place spare).
+func LogicalCapacityPB(p params.Parameters, cfg Config) float64 {
+	r := float64(p.RedundancySetSize)
+	t := float64(cfg.NodeFaultTolerance)
+	d := float64(p.DrivesPerNode)
+	m := float64(cfg.Internal.ParityDrives())
+	return p.RawSystemBytes() * (r - t) / r * (d - m) / d * p.CapacityUtilization / params.PB
+}
+
+// AnalyzeAll runs Analyze for each configuration, preserving order.
+func AnalyzeAll(p params.Parameters, cfgs []Config, method Method) ([]Result, error) {
+	out := make([]Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		r, err := Analyze(p, cfg, method)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", cfg, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/closedform"
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/rebuild"
+)
+
+// MissionResult reports transient (finite-horizon) reliability — the
+// quantity the paper's fleet target is really about: "100 systems × 5
+// years with less than one loss event".
+type MissionResult struct {
+	Config Config
+	// Hours is the mission length.
+	Hours float64
+	// LossProbability is P(data loss within the mission) for one system,
+	// computed from the exact chain by uniformization.
+	LossProbability float64
+	// ExponentialApprox is 1 - exp(-T/MTTDL), the memoryless
+	// approximation implicit in the paper's events-per-PB-year metric.
+	ExponentialApprox float64
+	// FleetLossProbability is P(at least one loss among FleetSize
+	// independent systems).
+	FleetSize            int
+	FleetLossProbability float64
+}
+
+// MissionSurvival solves the configuration's exact chain for the
+// probability of surviving a mission of the given hours, and the fleet
+// version for fleetSize independent systems.
+func MissionSurvival(p params.Parameters, cfg Config, hours float64, fleetSize int) (MissionResult, error) {
+	if hours <= 0 {
+		return MissionResult{}, fmt.Errorf("core: mission hours %v must be positive", hours)
+	}
+	if fleetSize < 1 {
+		return MissionResult{}, fmt.Errorf("core: fleet size %d must be >= 1", fleetSize)
+	}
+	if err := p.Validate(); err != nil {
+		return MissionResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return MissionResult{}, err
+	}
+	chain, err := configChain(p, cfg)
+	if err != nil {
+		return MissionResult{}, err
+	}
+	loss, err := markov.AbsorbedProbabilityByTime(chain, hours, markov.TransientOptions{})
+	if err != nil {
+		return MissionResult{}, fmt.Errorf("core: mission transient for %v: %w", cfg, err)
+	}
+	mttdl, err := markov.MTTA(chain)
+	if err != nil {
+		return MissionResult{}, err
+	}
+	return MissionResult{
+		Config:               cfg,
+		Hours:                hours,
+		LossProbability:      loss,
+		ExponentialApprox:    1 - math.Exp(-hours/mttdl),
+		FleetSize:            fleetSize,
+		FleetLossProbability: 1 - math.Pow(1-loss, float64(fleetSize)),
+	}, nil
+}
+
+// configChain builds the exact chain for a configuration (shared by the
+// exact-analysis, exposure, and mission paths).
+func configChain(p params.Parameters, cfg Config) (*markov.Chain, error) {
+	k := cfg.NodeFaultTolerance
+	switch {
+	case p.NodeSetSize <= k+1:
+		return nil, fmt.Errorf("core: node set size %d too small for fault tolerance %d", p.NodeSetSize, k)
+	case p.RedundancySetSize <= k:
+		return nil, fmt.Errorf("core: redundancy set size %d too small for fault tolerance %d", p.RedundancySetSize, k)
+	case cfg.Internal != InternalNone && p.DrivesPerNode <= cfg.Internal.ParityDrives():
+		return nil, fmt.Errorf("core: %d drives per node cannot form %s", p.DrivesPerNode, cfg.Internal)
+	}
+	rates := rebuild.Compute(p, k)
+	if cfg.Internal == InternalNone {
+		in := closedform.NIRInputs{
+			N: p.NodeSetSize, R: p.RedundancySetSize, D: p.DrivesPerNode,
+			LambdaN: p.NodeFailureRate(), LambdaD: p.DriveFailureRate(),
+			MuN: rates.NodeRebuild, MuD: rates.DriveRebuild, CHER: p.CHER(),
+		}
+		return model.NIRChain(in, k), nil
+	}
+	m := cfg.Internal.ParityDrives()
+	arr := closedform.ArrayInputs{
+		D: p.DrivesPerNode, LambdaD: p.DriveFailureRate(),
+		MuD: rates.Restripe, CHER: p.CHER(),
+	}
+	in := closedform.IRInputs{
+		N: p.NodeSetSize, R: p.RedundancySetSize,
+		LambdaN:      p.NodeFailureRate(),
+		LambdaArray:  closedform.ArrayFailureRate(m, arr),
+		LambdaSector: closedform.SectorErrorRate(m, arr),
+		MuN:          rates.NodeRebuild,
+	}
+	return model.IRChain(in, k), nil
+}

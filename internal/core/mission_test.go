@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestMissionSurvivalBaselineFiveYears(t *testing.T) {
+	p := params.Baseline()
+	mission := 5 * params.HoursPerYear
+	for _, cfg := range SensitivityConfigs() {
+		r, err := MissionSurvival(p, cfg, mission, 100)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if r.LossProbability < 0 || r.LossProbability > 1 {
+			t.Errorf("%v: P(loss) = %v", cfg, r.LossProbability)
+		}
+		// With repair ≫ failure the absorption time is very nearly
+		// exponential; the exact transient probability and the
+		// exponential approximation must agree tightly.
+		if rel := math.Abs(r.LossProbability-r.ExponentialApprox) /
+			math.Max(r.ExponentialApprox, 1e-300); rel > 0.05 {
+			t.Errorf("%v: exact %v vs exponential %v differ by %.1f%%",
+				cfg, r.LossProbability, r.ExponentialApprox, 100*rel)
+		}
+		if r.FleetLossProbability < r.LossProbability {
+			t.Errorf("%v: fleet probability below single-system", cfg)
+		}
+	}
+}
+
+// The paper's target arithmetic: 100 systems × 5 years < 1 expected event.
+// FT2+RAID5 should keep the whole fleet's loss probability tiny; FT2
+// without internal RAID should show a material fleet risk.
+func TestMissionFleetTargetStory(t *testing.T) {
+	p := params.Baseline()
+	mission := 5 * params.HoursPerYear
+	safe, err := MissionSurvival(p, Config{Internal: InternalRAID5, NodeFaultTolerance: 2}, mission, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.FleetLossProbability > 0.01 {
+		t.Errorf("FT2+RAID5 fleet risk = %v, want < 1%%", safe.FleetLossProbability)
+	}
+	marginal, err := MissionSurvival(p, Config{Internal: InternalNone, NodeFaultTolerance: 2}, mission, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marginal.FleetLossProbability < 0.1 {
+		t.Errorf("FT2-NIR fleet risk = %v, want material (> 10%%)", marginal.FleetLossProbability)
+	}
+}
+
+func TestMissionSurvivalMonotoneInHorizon(t *testing.T) {
+	p := params.Baseline()
+	cfg := Config{Internal: InternalNone, NodeFaultTolerance: 2}
+	prev := -1.0
+	for _, years := range []float64{1, 2, 5, 10} {
+		r, err := MissionSurvival(p, cfg, years*params.HoursPerYear, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LossProbability < prev {
+			t.Errorf("loss probability decreased at %v years", years)
+		}
+		prev = r.LossProbability
+	}
+}
+
+func TestMissionSurvivalValidation(t *testing.T) {
+	p := params.Baseline()
+	cfg := Config{Internal: InternalNone, NodeFaultTolerance: 2}
+	if _, err := MissionSurvival(p, cfg, 0, 1); err == nil {
+		t.Error("zero mission accepted")
+	}
+	if _, err := MissionSurvival(p, cfg, 100, 0); err == nil {
+		t.Error("zero fleet accepted")
+	}
+	bad := p
+	bad.DriveMTTFHours = -1
+	if _, err := MissionSurvival(bad, cfg, 100, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := MissionSurvival(p, Config{NodeFaultTolerance: 1}, 100, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

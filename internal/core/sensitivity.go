@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+)
+
+// SweepPoint is the analysis of every requested configuration at one value
+// of the swept parameter.
+type SweepPoint struct {
+	// X is the swept parameter's value at this point (in its natural
+	// unit: hours, bytes, Gb/s, or a count).
+	X float64
+	// Results holds one result per configuration, in the order the sweep
+	// was given.
+	Results []Result
+}
+
+// Sweep varies one parameter across the given values, holding everything
+// else at base, and analyzes each configuration at each point — the shape
+// of the paper's Section 7 sensitivity analyses. apply installs a value
+// into a copy of the base parameters.
+func Sweep(base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64)) ([]SweepPoint, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("core: empty sweep")
+	}
+	if apply == nil {
+		return nil, fmt.Errorf("core: nil apply function")
+	}
+	out := make([]SweepPoint, 0, len(xs))
+	for _, x := range xs {
+		p := base
+		apply(&p, x)
+		results, err := AnalyzeAll(p, cfgs, method)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at x=%v: %w", x, err)
+		}
+		out = append(out, SweepPoint{X: x, Results: results})
+	}
+	return out, nil
+}
+
+// Series extracts one configuration's events-per-PB-year across the sweep,
+// index i referring to the configuration order passed to Sweep.
+func Series(points []SweepPoint, i int) []float64 {
+	out := make([]float64, len(points))
+	for j, pt := range points {
+		out[j] = pt.Results[i].EventsPerPBYear
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package core
+
+// Target is a reliability goal expressed in the paper's metric.
+type Target struct {
+	// EventsPerPBYear is the maximum acceptable rate of data-loss events
+	// per petabyte-year.
+	EventsPerPBYear float64
+}
+
+// PaperTarget returns the paper's Section 6 goal: a field population of 100
+// systems of 1 PB each experiences less than one data-loss event in 5
+// years, i.e. 2×10⁻³ events per PB-year.
+func PaperTarget() Target {
+	return Target{EventsPerPBYear: 1.0 / (100 * 1 * 5)}
+}
+
+// Meets reports whether the result satisfies the target.
+func (t Target) Meets(r Result) bool {
+	return r.EventsPerPBYear < t.EventsPerPBYear
+}
+
+// Margin returns the factor by which the result beats the target
+// (target / actual); values above 1 meet the target.
+func (t Target) Margin(r Result) float64 {
+	if r.EventsPerPBYear == 0 {
+		return 0
+	}
+	return t.EventsPerPBYear / r.EventsPerPBYear
+}

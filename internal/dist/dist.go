@@ -1,0 +1,92 @@
+// Package dist holds the lifetime distributions shared by the simulators
+// and the trace generator: exponential and Weibull, both parameterized by
+// their mean so models keep speaking in MTTF terms.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Lifetime describes a non-negative random lifetime with a given mean.
+type Lifetime struct {
+	// Mean is the expected lifetime (e.g. an MTTF in hours).
+	Mean float64
+	// Shape is the Weibull shape parameter; 0 or 1 selects the
+	// exponential distribution. Shape > 1 models wear-out (increasing
+	// hazard), shape < 1 infant mortality.
+	Shape float64
+}
+
+// Validate reports the first problem.
+func (l Lifetime) Validate() error {
+	switch {
+	case l.Mean <= 0:
+		return fmt.Errorf("dist: mean %v must be positive", l.Mean)
+	case l.Shape < 0:
+		return fmt.Errorf("dist: negative shape %v", l.Shape)
+	case l.Shape > 0 && l.Shape < 0.2:
+		return fmt.Errorf("dist: shape %v below 0.2 is numerically pathological", l.Shape)
+	}
+	return nil
+}
+
+// exponential reports whether the distribution degenerates to exponential.
+func (l Lifetime) exponential() bool { return l.Shape == 0 || l.Shape == 1 }
+
+// Sample draws one lifetime.
+func (l Lifetime) Sample(rng *rand.Rand) float64 {
+	if l.exponential() {
+		return rng.ExpFloat64() * l.Mean
+	}
+	scale := l.Mean / math.Gamma(1+1/l.Shape)
+	return scale * math.Pow(rng.ExpFloat64(), 1/l.Shape)
+}
+
+// Hazard returns the instantaneous failure rate at age t.
+func (l Lifetime) Hazard(t float64) float64 {
+	if t < 0 {
+		panic(fmt.Sprintf("dist: negative age %v", t))
+	}
+	if l.exponential() {
+		return 1 / l.Mean
+	}
+	scale := l.Mean / math.Gamma(1+1/l.Shape)
+	if t == 0 {
+		if l.Shape > 1 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return l.Shape / scale * math.Pow(t/scale, l.Shape-1)
+}
+
+// Survival returns P(lifetime > t).
+func (l Lifetime) Survival(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if l.exponential() {
+		return math.Exp(-t / l.Mean)
+	}
+	scale := l.Mean / math.Gamma(1+1/l.Shape)
+	return math.Exp(-math.Pow(t/scale, l.Shape))
+}
+
+// Quantile returns the age by which a fraction p of the population has
+// failed (the inverse CDF). It panics for p outside [0, 1).
+func (l Lifetime) Quantile(p float64) float64 {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("dist: quantile %v out of [0, 1)", p))
+	}
+	if p == 0 {
+		return 0
+	}
+	x := -math.Log(1 - p)
+	if l.exponential() {
+		return l.Mean * x
+	}
+	scale := l.Mean / math.Gamma(1+1/l.Shape)
+	return scale * math.Pow(x, 1/l.Shape)
+}

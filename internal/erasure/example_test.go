@@ -1,0 +1,35 @@
+package erasure_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/erasure"
+)
+
+// Encode an object across the paper's redundancy-set geometry (R = 8,
+// fault tolerance 2 → 6 data + 2 parity), lose two shards, and recover.
+func ExampleCode() {
+	code, err := erasure.New(6, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg := []byte("reliability for networked storage nodes")
+	shards, _ := code.Split(msg)
+	if err := code.Encode(shards); err != nil {
+		log.Fatal(err)
+	}
+	// Two bricks fail.
+	shards[1] = nil
+	shards[6] = nil
+	if err := code.Reconstruct(shards); err != nil {
+		log.Fatal(err)
+	}
+	data, err := code.Join(shards, len(msg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+	// Output:
+	// reliability for networked storage nodes
+}

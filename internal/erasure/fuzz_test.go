@@ -1,0 +1,46 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSplitEncodeReconstruct drives the full data path with arbitrary
+// payloads and erasure patterns: the decoded data must always equal the
+// input when the erasures stay within tolerance.
+func FuzzSplitEncodeReconstruct(f *testing.F) {
+	f.Add([]byte("hello world"), uint8(5), uint8(3), uint8(0b101))
+	f.Add([]byte{}, uint8(1), uint8(1), uint8(0))
+	f.Add(bytes.Repeat([]byte{0xAA}, 300), uint8(10), uint8(4), uint8(0b1111))
+
+	f.Fuzz(func(t *testing.T, data []byte, dataShards, parityShards, mask uint8) {
+		d := int(dataShards%16) + 1
+		p := int(parityShards%5) + 1
+		code, err := New(d, p)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", d, p, err)
+		}
+		shards, _ := code.Split(data)
+		if err := code.Encode(shards); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		// Erase up to p shards according to the mask.
+		erased := 0
+		for i := 0; i < code.TotalShards() && erased < p; i++ {
+			if mask>>(i%8)&1 == 1 {
+				shards[i] = nil
+				erased++
+			}
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct after %d erasures: %v", erased, err)
+		}
+		got, err := code.Join(shards, len(data))
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("decoded %d bytes != input %d bytes", len(got), len(data))
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package erasure
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0xA5, 0x5A) != 0xFF {
+		t.Error("Add != XOR")
+	}
+	if Add(7, 7) != 0 {
+		t.Error("x + x != 0")
+	}
+}
+
+func TestMulBasics(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{1, 37, 37},
+		{37, 1, 37},
+		{2, 2, 4},
+		{0x80, 2, 0x1d}, // wraps through the polynomial
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, b) == Mul(b, a) && Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Errorf("a·a⁻¹ = %#x for a=%#x", got, a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(x, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestExpCycle(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Errorf("g⁰ = %#x, want 1", Exp(0))
+	}
+	if Exp(255) != 1 {
+		t.Errorf("g²⁵⁵ = %#x, want 1 (multiplicative order)", Exp(255))
+	}
+	if Exp(-1) != Exp(254) {
+		t.Error("negative exponent not normalized")
+	}
+	// The generator must enumerate all 255 non-zero elements.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Errorf("generator hits %d distinct elements, want 255", len(seen))
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	in := []byte{0, 1, 2, 37, 255, 128}
+	out := []byte{9, 9, 9, 9, 9, 9}
+	want := make([]byte, len(in))
+	for i := range in {
+		want[i] = Add(out[i], Mul(0x1B, in[i]))
+	}
+	mulSlice(0x1B, in, out)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Errorf("mulSlice[%d] = %#x, want %#x", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMulSliceZeroCoeffNoop(t *testing.T) {
+	in := []byte{1, 2, 3}
+	out := []byte{4, 5, 6}
+	mulSlice(0, in, out)
+	if out[0] != 4 || out[1] != 5 || out[2] != 6 {
+		t.Error("mulSlice(0, ...) modified output")
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	mulSlice(1, []byte{1}, []byte{1, 2})
+}

@@ -1,0 +1,177 @@
+package erasure
+
+import "fmt"
+
+// gfMatrix is a dense matrix over GF(2⁸).
+type gfMatrix struct {
+	rows, cols int
+	data       []byte
+}
+
+func newGFMatrix(rows, cols int) *gfMatrix {
+	return &gfMatrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m *gfMatrix) at(i, j int) byte     { return m.data[i*m.cols+j] }
+func (m *gfMatrix) set(i, j int, v byte) { m.data[i*m.cols+j] = v }
+func (m *gfMatrix) row(i int) []byte     { return m.data[i*m.cols : (i+1)*m.cols] }
+
+func (m *gfMatrix) clone() *gfMatrix {
+	out := newGFMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// mul returns m·other.
+func (m *gfMatrix) mul(other *gfMatrix) *gfMatrix {
+	if m.cols != other.rows {
+		panic(fmt.Sprintf("erasure: matrix product %dx%d · %dx%d", m.rows, m.cols, other.rows, other.cols))
+	}
+	out := newGFMatrix(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.cols; j++ {
+				out.data[i*out.cols+j] ^= Mul(a, other.at(k, j))
+			}
+		}
+	}
+	return out
+}
+
+// identityGF returns the n×n identity.
+func identityGF(n int) *gfMatrix {
+	m := newGFMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// subMatrixRows returns a copy of the selected rows.
+func (m *gfMatrix) subMatrixRows(rows []int) *gfMatrix {
+	out := newGFMatrix(len(rows), m.cols)
+	for i, r := range rows {
+		copy(out.row(i), m.row(r))
+	}
+	return out
+}
+
+// invert returns m⁻¹ by Gauss–Jordan elimination, or an error if singular.
+func (m *gfMatrix) invert() (*gfMatrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("erasure: cannot invert %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	work := m.clone()
+	out := identityGF(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("erasure: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(out, pivot, col)
+		}
+		// Scale the pivot row to 1.
+		if p := work.at(col, col); p != 1 {
+			inv := Inv(p)
+			scaleRow(work.row(col), inv)
+			scaleRow(out.row(col), inv)
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.at(r, col)
+			if f == 0 {
+				continue
+			}
+			addScaledRow(work.row(r), work.row(col), f)
+			addScaledRow(out.row(r), out.row(col), f)
+		}
+	}
+	return out, nil
+}
+
+func swapRows(m *gfMatrix, a, b int) {
+	ra, rb := m.row(a), m.row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func scaleRow(row []byte, c byte) {
+	for i := range row {
+		row[i] = Mul(row[i], c)
+	}
+}
+
+// addScaledRow computes dst ^= c·src.
+func addScaledRow(dst, src []byte, c byte) {
+	for i := range dst {
+		dst[i] ^= Mul(src[i], c)
+	}
+}
+
+// vandermonde builds the systematic encoding matrix for data data-shards
+// and parity parity-shards: the identity on top of parity rows derived from
+// a Vandermonde matrix, guaranteeing every data×data submatrix of the
+// result is invertible. (Standard construction: build the
+// (data+parity)×data Vandermonde matrix, then normalize its top square to
+// the identity by column operations.)
+func vandermonde(data, parity int) *gfMatrix {
+	total := data + parity
+	v := newGFMatrix(total, data)
+	for r := 0; r < total; r++ {
+		for c := 0; c < data; c++ {
+			// r-th evaluation point raised to the c-th power.
+			v.set(r, c, expPow(byte(r), c))
+		}
+	}
+	// Normalize: multiply by the inverse of the top square so the top
+	// becomes the identity (systematic form).
+	top := v.subMatrixRows(seq(data))
+	topInv, err := top.invert()
+	if err != nil {
+		// The Vandermonde top square over distinct points is always
+		// invertible; reaching here is a programming error.
+		panic(fmt.Sprintf("erasure: vandermonde top square singular: %v", err))
+	}
+	return v.mul(topInv)
+}
+
+// expPow returns base^power in GF(2⁸) with 0⁰ = 1.
+func expPow(base byte, power int) byte {
+	if power == 0 {
+		return 1
+	}
+	if base == 0 {
+		return 0
+	}
+	out := byte(1)
+	for i := 0; i < power; i++ {
+		out = Mul(out, base)
+	}
+	return out
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/closedform"
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/rebuild"
+	"repro/internal/sim"
+	"repro/internal/spares"
+)
+
+// Ablation experiments beyond the paper's figures: they quantify the
+// modelling choices DESIGN.md calls out — the chains' last-in-first-out
+// repair idealization, the exponential repair and failure-time
+// assumptions, the rebuild bottleneck decomposition, elasticities of the
+// headline metric, and the fail-in-place over-provisioning plan.
+
+// AblationModelAssumptions compares the exact Markov chain against the
+// full-system DES under three variations in a failure-accelerated regime:
+// exponential repairs (the chain's own assumption plus concurrent repair),
+// deterministic repairs, and Weibull wear-out lifetimes.
+func AblationModelAssumptions(trials int, seed int64) (*Table, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("experiments: trials %d must be >= 2", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:      "ablation-assumptions",
+		Title:   "Chain idealizations vs full-system DES (accelerated failures, FT as shown)",
+		Columns: []string{"variant", "chain MTTDL (h)", "DES MTTDL (h)", "DES/chain"},
+	}
+
+	base := sim.Scenario{
+		N: 8, R: 4, D: 3, T: 1,
+		LambdaN: 1e-3, LambdaD: 2e-3, MuN: 2, MuD: 5,
+		CHER: 0.01, Repair: sim.RepairExponential,
+	}
+	variants := []struct {
+		name   string
+		mutate func(*sim.Scenario)
+	}{
+		{"FT1, exponential repair", func(*sim.Scenario) {}},
+		{"FT1, deterministic repair", func(s *sim.Scenario) { s.Repair = sim.RepairDeterministic }},
+		{"FT1, Weibull(3) lifetimes", func(s *sim.Scenario) { s.NodeFailureShape = 3; s.DriveFailureShape = 3 }},
+		{"FT2, exponential repair (LIFO gap)", func(s *sim.Scenario) { s.T = 2 }},
+	}
+	for _, v := range variants {
+		sc := base
+		v.mutate(&sc)
+		in := closedform.NIRInputs{
+			N: sc.N, R: sc.R, D: sc.D,
+			LambdaN: sc.LambdaN, LambdaD: sc.LambdaD,
+			MuN: sc.MuN, MuD: sc.MuD, CHER: sc.CHER,
+		}
+		chainMTTDL, err := markov.MTTA(model.NIRChain(in, sc.T))
+		if err != nil {
+			return nil, err
+		}
+		est, err := sim.EstimateMTTDL(sc, rng, trials, 10_000_000)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, sci(chainMTTDL), sci(est.MeanHours),
+			fmt.Sprintf("%.2f±%.2f", est.MeanHours/chainMTTDL, 1.96*est.StdErr/chainMTTDL))
+	}
+	t.Notes = append(t.Notes,
+		"FT1 ratios near 1 validate the chains end-to-end",
+		"the FT2 ratio above 1 is the chains' conservative LIFO-repair assumption",
+		"Weibull wear-out shifts MTTDL well under an order of magnitude",
+	)
+	return t, nil
+}
+
+// AblationElasticities tabulates d log(events/PB-yr)/d log(θ) for each
+// tunable parameter across the paper's three sensitivity configurations —
+// the quantitative summary behind Figures 14–20.
+func AblationElasticities(p params.Parameters) (*Table, error) {
+	cfgs := core.SensitivityConfigs()
+	t := &Table{
+		ID:      "ablation-elasticity",
+		Title:   "Elasticities of events/PB-year (baseline, 1% central differences)",
+		Columns: []string{"parameter"},
+	}
+	for _, c := range cfgs {
+		t.Columns = append(t.Columns, c.String())
+	}
+	all := make([][]core.Elasticity, len(cfgs))
+	for i, cfg := range cfgs {
+		es, err := core.Elasticities(p, cfg, core.MethodClosedForm, 0)
+		if err != nil {
+			return nil, err
+		}
+		all[i] = es
+	}
+	for row := range all[0] {
+		cells := []string{all[0][row].Parameter}
+		for i := range cfgs {
+			cells = append(cells, fmt.Sprintf("%+.2f", all[i][row].Value))
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes,
+		"node MTTF ≈ -3 for FT2-IR5: node failures dominate, the paper's RAID6-vs-RAID5 argument",
+		"drive MTTF matters only without internal RAID",
+	)
+	return t, nil
+}
+
+// AblationBottleneck decomposes the node rebuild across link speeds: the
+// knee behind Figure 17.
+func AblationBottleneck(p params.Parameters) (*Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-bottleneck",
+		Title:   "Node rebuild bottleneck decomposition (FT 2)",
+		Columns: []string{"link (Gb/s)", "rebuild time (h)", "limited by"},
+	}
+	for _, g := range []float64{0.5, 1, 2, 2.5, 3, 5, 10} {
+		q := p
+		q.LinkSpeedGbps = g
+		h, b := rebuild.NodeRebuildTimeHours(q, 2)
+		t.AddRow(fmt.Sprintf("%.1f", g), fmt.Sprintf("%.2f", h), b.String())
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("crossover at %.2f Gb/s (paper: ~3 Gb/s)", rebuild.CrossoverLinkSpeedGbps(p, 2)),
+	)
+	return t, nil
+}
+
+// SparesPlan tabulates the fail-in-place capacity trajectory over a
+// five-year mission, connecting the paper's 75% baseline utilization to
+// its over-provisioning discussion.
+func SparesPlan(p params.Parameters) (*Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	mission := 5 * params.HoursPerYear
+	pts, err := spares.Trajectory(p, mission, 5)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "spares-plan",
+		Title:   "Fail-in-place attrition over a 5-year mission (no spare nodes added)",
+		Columns: []string{"year", "surviving capacity", "utilization", "node failures", "drive failures"},
+	}
+	for _, pt := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.0f", pt.Hours/params.HoursPerYear),
+			fmt.Sprintf("%.1f%%", 100*pt.SurvivingFraction),
+			fmt.Sprintf("%.1f%%", 100*pt.Utilization),
+			fmt.Sprintf("%.1f", pt.NodeFailures),
+			fmt.Sprintf("%.1f", pt.DriveFailures),
+		)
+	}
+	u0, err := spares.RequiredInitialUtilization(p, mission, 0.97)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("initial utilization for a 5-year mission at ≤97%%: %.0f%% — the paper's 75%% baseline", 100*u0),
+	)
+	return t, nil
+}
+
+// Ablations regenerates the full ablation suite. The simulation table uses
+// the given trial count and seed.
+func Ablations(p params.Parameters, trials int, seed int64) ([]*Table, error) {
+	var out []*Table
+	t1, err := AblationModelAssumptions(trials, seed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t1)
+	t2, err := AblationCorrelatedFailures(trials, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t2)
+	for _, gen := range []func(params.Parameters) (*Table, error){
+		AblationElasticities,
+		AblationBottleneck,
+		func(p params.Parameters) (*Table, error) {
+			return AblationScrub(p, 1.0/params.HoursPerYear)
+		},
+		AblationMeshTopology,
+		AblationDriveClass,
+		MissionTable,
+		PerfTable,
+		SparesPlan,
+	} {
+		t, err := gen(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

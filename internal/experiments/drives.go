@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/params"
+)
+
+// AblationDriveClass contrasts the paper's desktop/ATA baseline with
+// enterprise-class drives across the nine configurations — quantifying the
+// premise of the brick approach (cheap drives + distributed redundancy
+// instead of premium hardware).
+func AblationDriveClass(p params.Parameters) (*Table, error) {
+	ent := params.Enterprise()
+	// Keep the fleet geometry of the supplied baseline.
+	ent.NodeSetSize = p.NodeSetSize
+	ent.RedundancySetSize = p.RedundancySetSize
+	ent.DrivesPerNode = p.DrivesPerNode
+	ent.NodeMTTFHours = p.NodeMTTFHours
+
+	t := &Table{
+		ID:      "ablation-drives",
+		Title:   "Desktop/ATA baseline vs enterprise drives: events/PB-yr",
+		Columns: []string{"configuration", "ATA (paper)", "enterprise", "improvement"},
+	}
+	for _, cfg := range core.BaselineConfigs() {
+		ata, err := core.Analyze(p, cfg, core.MethodClosedForm)
+		if err != nil {
+			return nil, err
+		}
+		prem, err := core.Analyze(ent, cfg, core.MethodClosedForm)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cfg.String(), sci(ata.EventsPerPBYear), sci(prem.EventsPerPBYear),
+			fmt.Sprintf("%.1f×", ata.EventsPerPBYear/prem.EventsPerPBYear))
+	}
+	t.Notes = append(t.Notes,
+		"enterprise drives cannot rescue FT 1 (node failures dominate): the paper's distributed-redundancy premise holds",
+		"for FT >= 2 with internal RAID the gain is modest — node MTTF is the binding constraint",
+	)
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/params"
+)
+
+// AblationMeshTopology repeats the Figure 18 node-set-size sweep with the
+// effective node bandwidth *derived* from the 3-D lattice housing the
+// fleet (reference [1]'s geometry) instead of held at the baseline
+// constant: larger lattices have longer mean paths and thus less usable
+// rebuild bandwidth per node, a coupling the paper's one-at-a-time sweep
+// does not capture.
+func AblationMeshTopology(p params.Parameters) (*Table, error) {
+	cfg := core.Config{Internal: core.InternalRAID5, NodeFaultTolerance: 2}
+	t := &Table{
+		ID:    "ablation-mesh",
+		Title: "FT2-IR5 events/PB-yr vs node set size at 2 Gb/s links: fixed vs topology-derived bandwidth",
+		Columns: []string{
+			"N (nodes)", "lattice", "eff. links (torus)",
+			"fixed 2.0 links", "torus-derived", "open-mesh-derived",
+		},
+	}
+	for _, n := range NodeSetGrid {
+		q := p
+		q.NodeSetSize = int(n)
+		// At the 10 Gb/s baseline every row is disk-limited and the
+		// topology is invisible; 2 Gb/s sits below the crossover, where
+		// the network model actually matters.
+		q.LinkSpeedGbps = 2
+		a, b, c := mesh.Dimensions(q.NodeSetSize)
+
+		fixed, err := core.Analyze(q, cfg, core.MethodClosedForm)
+		if err != nil {
+			return nil, err
+		}
+		torus, err := core.Analyze(mesh.Derive(q, mesh.Torus), cfg, core.MethodClosedForm)
+		if err != nil {
+			return nil, err
+		}
+		open, err := core.Analyze(mesh.Derive(q, mesh.Mesh), cfg, core.MethodClosedForm)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", q.NodeSetSize),
+			fmt.Sprintf("%d×%d×%d", a, b, c),
+			fmt.Sprintf("%.2f", mesh.EffectiveLinks(q.NodeSetSize, mesh.Torus)),
+			sci(fixed.EventsPerPBYear),
+			sci(torus.EventsPerPBYear),
+			sci(open.EventsPerPBYear),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"at N=64 the torus derivation gives exactly the baseline's 2.0 effective links",
+		"topology-aware bandwidth REVERSES Figure 18's trend when network-limited: growing the fleet lengthens paths, slows rebuilds and costs reliability",
+		"at the 10 Gb/s baseline every row is disk-limited and the three columns coincide",
+	)
+	return t, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// AblationCorrelatedFailures measures what the paper's independence
+// assumption hides: holding the total node-failure budget constant, a
+// growing share of failures arrives as simultaneous pairs (shared power,
+// rack events). Fault tolerance 2 has zero margin against a pair, so the
+// correlated share erodes MTTDL far faster than the raw failure count
+// suggests. Simulated in an accelerated regime.
+func AblationCorrelatedFailures(trials int, seed int64) (*Table, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("experiments: trials %d must be >= 2", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := sim.Scenario{
+		N: 8, R: 4, D: 3, T: 2,
+		LambdaN: 1e-3, LambdaD: 2e-3, MuN: 2, MuD: 5,
+		CHER: 0, Repair: sim.RepairExponential,
+	}
+	budget := float64(base.N) * base.LambdaN // node failures per hour
+	t := &Table{
+		ID:      "ablation-shocks",
+		Title:   "Correlated pair-failures at a fixed failure budget (FT 2, accelerated DES)",
+		Columns: []string{"correlated share", "MTTDL (h)", "vs independent"},
+	}
+	var independent float64
+	for _, share := range []float64{0, 0.1, 0.3, 0.5} {
+		sc := base
+		if share > 0 {
+			sc.ShockSize = 2
+			sc.ShockRate = share * budget / 2
+			sc.LambdaN = (1 - share) * budget / float64(sc.N)
+		}
+		est, err := sim.EstimateMTTDL(sc, rng, trials, 10_000_000)
+		if err != nil {
+			return nil, err
+		}
+		if share == 0 {
+			independent = est.MeanHours
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*share), sci(est.MeanHours),
+			fmt.Sprintf("%.2f×", est.MeanHours/independent))
+	}
+	t.Notes = append(t.Notes,
+		"the models' independence assumption is optimistic wherever bricks share failure domains",
+		"a pair-shock consumes the entire FT 2 margin at once: provisioning should map fault domains, not just count failures",
+	)
+	return t, nil
+}

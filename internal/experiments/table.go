@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figure 13 baseline, Figures 14–20 sensitivity analyses) plus
+// an appendix cross-check, as text tables with the same rows/series the
+// paper plots.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is one regenerated figure: an identifier, the series/rows the paper
+// plots, and notes on the claims the reproduction checks.
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig13".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold the rendered cells.
+	Rows [][]string
+	// Notes record the paper's claims and how the regenerated numbers
+	// relate to them.
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row with %d cells for %d columns in %s", len(cells), len(t.Columns), t.ID))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(t.ID), t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV: header row, then data rows.
+// Notes are emitted as trailing comment rows prefixed "#".
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVDir writes each table to <dir>/<id>.csv, creating dir.
+func WriteCSVDir(dir string, tables []*Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.CSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: writing %s: %w", t.ID, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sci renders a value in compact scientific notation.
+func sci(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// yesNo renders a target check.
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

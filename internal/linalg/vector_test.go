@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestSumOnesUnit(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); got != 3 {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	ones := Ones(4)
+	if Sum(ones) != 4 {
+		t.Errorf("Sum(Ones(4)) = %v, want 4", Sum(ones))
+	}
+	u := Unit(3, 1)
+	if u[0] != 0 || u[1] != 1 || u[2] != 0 {
+		t.Errorf("Unit(3,1) = %v", u)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1, 1}
+	AXPY(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	if !ApproxEqualVec(y, want, 0) {
+		t.Errorf("AXPY = %v, want %v", y, want)
+	}
+}
+
+func TestScaleVec(t *testing.T) {
+	x := ScaleVec(3, []float64{1, -2})
+	if x[0] != 3 || x[1] != -6 {
+		t.Errorf("ScaleVec = %v", x)
+	}
+}
+
+func TestMaxAbsAndNorm1(t *testing.T) {
+	x := []float64{1, -4, 2}
+	if got := MaxAbs(x); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+	if got := Norm1(x); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Errorf("MaxAbs(nil) = %v, want 0", got)
+	}
+}
+
+func TestApproxEqualVec(t *testing.T) {
+	if !ApproxEqualVec([]float64{1}, []float64{1 + 1e-12}, 1e-9) {
+		t.Error("close vectors reported unequal")
+	}
+	if ApproxEqualVec([]float64{1}, []float64{1.1}, 1e-9) {
+		t.Error("distant vectors reported equal")
+	}
+	if ApproxEqualVec([]float64{1}, []float64{1, 2}, 1) {
+		t.Error("different-length vectors reported equal")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{1, 2, 0.5},
+		{2, 1, 0.5},
+		{-1, 1, 2},
+	}
+	for _, c := range cases {
+		if got := RelDiff(c.a, c.b); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("RelDiff(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// AbsorptionResult reports the absorption analysis of a chain.
+type AbsorptionResult struct {
+	// MeanTimeToAbsorption is the expected time from the initial state to
+	// any absorbing state — the paper's MTTDL when the absorbing states
+	// are data-loss states.
+	MeanTimeToAbsorption float64
+	// TimeInState maps transient state name → expected total time spent
+	// there before absorption (the τ_i of the appendix).
+	TimeInState map[string]float64
+	// AbsorptionProbability maps absorbing state name → probability that
+	// the chain is eventually absorbed there. With a single absorbing
+	// state this is 1.
+	AbsorptionProbability map[string]float64
+}
+
+// Absorption solves the chain for its mean time to absorption and related
+// quantities. It follows the appendix: with R = -Q_B the absorption matrix
+// and π_B(0) the initial distribution over transient states,
+//
+//	τ_B = π_B(0)·R⁻¹,   MTTA = τ_B·⟨1,…,1⟩ᵀ.
+//
+// Absorption probabilities are p_a = Σ_i τ_i · rate(i→a).
+// It returns an error if the chain fails Validate or the absorption matrix
+// is singular (absorption not almost-sure).
+func Absorption(c *Chain) (*AbsorptionResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	r, trans, initRow := c.AbsorptionMatrix()
+	if initRow < 0 {
+		// Initial state is absorbing: zero time to absorption.
+		res := &AbsorptionResult{
+			TimeInState:           map[string]float64{},
+			AbsorptionProbability: map[string]float64{c.StateName(c.initial): 1},
+		}
+		return res, nil
+	}
+	f, err := linalg.Factorize(r)
+	if err != nil {
+		return nil, fmt.Errorf("markov: absorption matrix: %w", err)
+	}
+	// τ_B = π_B(0)·R⁻¹ means Rᵀ·τ = π_B(0).
+	tau := f.SolveTranspose(linalg.Unit(len(trans), initRow))
+	res := &AbsorptionResult{
+		MeanTimeToAbsorption: linalg.Sum(tau),
+		TimeInState:          make(map[string]float64, len(trans)),
+	}
+	for row, s := range trans {
+		res.TimeInState[c.StateName(s)] = tau[row]
+	}
+	res.AbsorptionProbability = make(map[string]float64)
+	for row, s := range trans {
+		for to, rate := range c.rates[s] {
+			if c.absorbing[to] {
+				res.AbsorptionProbability[c.StateName(to)] += tau[row] * rate
+			}
+		}
+	}
+	return res, nil
+}
+
+// MTTA is a convenience wrapper returning only the mean time to absorption.
+func MTTA(c *Chain) (float64, error) {
+	res, err := Absorption(c)
+	if err != nil {
+		return 0, err
+	}
+	return res.MeanTimeToAbsorption, nil
+}

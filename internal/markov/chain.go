@@ -1,0 +1,255 @@
+// Package markov implements continuous-time Markov chains (CTMCs) with
+// absorbing states and the analyses the paper builds on (Trivedi [6]):
+//
+//   - mean time to absorption (the paper's MTTDL) by solving
+//     τ_B·Q_B = -π_B(0) with dense LU factorization;
+//   - expected time spent in each transient state and absorption
+//     probabilities per absorbing state;
+//   - transient state probabilities via uniformization;
+//   - stochastic path simulation for Monte Carlo cross-validation.
+//
+// Chains are built by naming states and adding transition rates; the
+// package computes generator and absorption matrices on demand.
+package markov
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Chain is a CTMC under construction. States are identified by name; the
+// first state added is the initial state unless SetInitial overrides it.
+// The zero value is not usable; call NewChain.
+type Chain struct {
+	names     []string
+	index     map[string]int
+	absorbing map[int]bool
+	// rates[from] maps to-state → cumulative rate. Self-loops are
+	// rejected; parallel edges accumulate.
+	rates   []map[int]float64
+	initial int
+}
+
+// NewChain returns an empty chain.
+func NewChain() *Chain {
+	return &Chain{index: make(map[string]int), initial: -1}
+}
+
+// State returns the index of the named state, creating it if necessary.
+// The first state created becomes the initial state by default.
+func (c *Chain) State(name string) int {
+	if i, ok := c.index[name]; ok {
+		return i
+	}
+	i := len(c.names)
+	c.names = append(c.names, name)
+	c.index[name] = i
+	c.rates = append(c.rates, make(map[int]float64))
+	if c.initial < 0 {
+		c.initial = i
+	}
+	return i
+}
+
+// SetInitial marks the named state as the initial state (creating it if
+// needed).
+func (c *Chain) SetInitial(name string) {
+	c.initial = c.State(name)
+}
+
+// SetAbsorbing marks the named state as absorbing (creating it if needed).
+// Outgoing rates from an absorbing state are rejected by AddRate.
+func (c *Chain) SetAbsorbing(name string) {
+	i := c.State(name)
+	if c.absorbing == nil {
+		c.absorbing = make(map[int]bool)
+	}
+	c.absorbing[i] = true
+}
+
+// AddRate adds a transition with the given rate (per unit time) from one
+// named state to another, creating the states if needed. Rates accumulate
+// across repeated calls for the same edge. It panics on negative rates,
+// self-loops, and transitions out of absorbing states — all of which are
+// modelling bugs, not runtime conditions.
+func (c *Chain) AddRate(from, to string, rate float64) {
+	if rate < 0 {
+		panic(fmt.Sprintf("markov: negative rate %v on %s→%s", rate, from, to))
+	}
+	if rate == 0 {
+		return
+	}
+	f := c.State(from)
+	t := c.State(to)
+	if f == t {
+		panic(fmt.Sprintf("markov: self-loop on state %s", from))
+	}
+	if c.absorbing[f] {
+		panic(fmt.Sprintf("markov: transition out of absorbing state %s", from))
+	}
+	c.rates[f][t] += rate
+}
+
+// NumStates returns the number of states defined so far.
+func (c *Chain) NumStates() int { return len(c.names) }
+
+// StateName returns the name of state i.
+func (c *Chain) StateName(i int) string { return c.names[i] }
+
+// StateIndex returns the index of a named state and whether it exists.
+func (c *Chain) StateIndex(name string) (int, bool) {
+	i, ok := c.index[name]
+	return i, ok
+}
+
+// Initial returns the index of the initial state, or -1 for an empty chain.
+func (c *Chain) Initial() int { return c.initial }
+
+// IsAbsorbing reports whether state i is absorbing.
+func (c *Chain) IsAbsorbing(i int) bool { return c.absorbing[i] }
+
+// Rate returns the transition rate from state i to state j (0 if no edge).
+func (c *Chain) Rate(i, j int) float64 { return c.rates[i][j] }
+
+// ExitRate returns the total outgoing rate of state i.
+func (c *Chain) ExitRate(i int) float64 {
+	var s float64
+	for _, r := range c.rates[i] {
+		s += r
+	}
+	return s
+}
+
+// TransientStates returns the indices of non-absorbing states in creation
+// order.
+func (c *Chain) TransientStates() []int {
+	out := make([]int, 0, len(c.names))
+	for i := range c.names {
+		if !c.absorbing[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AbsorbingStates returns the indices of absorbing states in creation order.
+func (c *Chain) AbsorbingStates() []int {
+	out := make([]int, 0, len(c.absorbing))
+	for i := range c.names {
+		if c.absorbing[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Successors returns the outgoing edges of state i sorted by target index,
+// for deterministic iteration (simulation, generator assembly).
+func (c *Chain) Successors(i int) []Edge {
+	out := make([]Edge, 0, len(c.rates[i]))
+	for to, r := range c.rates[i] {
+		out = append(out, Edge{To: to, Rate: r})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].To < out[b].To })
+	return out
+}
+
+// Edge is one outgoing transition.
+type Edge struct {
+	To   int
+	Rate float64
+}
+
+// Validate reports structural problems: no states, no absorbing state
+// reachable, or transient states with no outgoing rate (which would trap
+// probability mass and make mean time to absorption infinite).
+func (c *Chain) Validate() error {
+	if len(c.names) == 0 {
+		return fmt.Errorf("markov: chain has no states")
+	}
+	if c.initial < 0 {
+		return fmt.Errorf("markov: chain has no initial state")
+	}
+	if len(c.absorbing) == 0 {
+		return fmt.Errorf("markov: chain has no absorbing state")
+	}
+	for i := range c.names {
+		if c.absorbing[i] {
+			continue
+		}
+		if len(c.rates[i]) == 0 {
+			return fmt.Errorf("markov: transient state %q has no outgoing transitions", c.names[i])
+		}
+	}
+	if !c.absorptionReachable() {
+		return fmt.Errorf("markov: no absorbing state is reachable from the initial state")
+	}
+	return nil
+}
+
+func (c *Chain) absorptionReachable() bool {
+	seen := make([]bool, len(c.names))
+	stack := []int{c.initial}
+	seen[c.initial] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c.absorbing[s] {
+			return true
+		}
+		for to := range c.rates[s] {
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
+}
+
+// Generator returns the infinitesimal generator matrix Q over all states:
+// off-diagonal entries are transition rates; diagonal entries make row sums
+// zero.
+func (c *Chain) Generator() *linalg.Matrix {
+	n := len(c.names)
+	q := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		var exit float64
+		for to, r := range c.rates[i] {
+			q.Set(i, to, r)
+			exit += r
+		}
+		q.Set(i, i, -exit)
+	}
+	return q
+}
+
+// AbsorptionMatrix returns R = -Q_B, the paper's "absorption matrix": Q
+// restricted to transient states, negated so the diagonal is positive.
+// The second result maps rows of R to state indices of the chain; the
+// initial state's row index is returned third.
+func (c *Chain) AbsorptionMatrix() (*linalg.Matrix, []int, int) {
+	trans := c.TransientStates()
+	pos := make(map[int]int, len(trans))
+	for row, s := range trans {
+		pos[s] = row
+	}
+	r := linalg.New(len(trans), len(trans))
+	for row, s := range trans {
+		var exit float64
+		for to, rate := range c.rates[s] {
+			exit += rate
+			if col, ok := pos[to]; ok {
+				r.Set(row, col, -rate)
+			}
+		}
+		r.Set(row, row, r.At(row, row)+exit)
+	}
+	initRow, ok := pos[c.initial]
+	if !ok {
+		initRow = -1 // initial state is absorbing
+	}
+	return r, trans, initRow
+}

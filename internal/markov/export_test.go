@@ -1,0 +1,110 @@
+package markov
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	c := repairable(1, 5, 0.25)
+	dot := c.DOT("raid")
+	for _, want := range []string{
+		`digraph "raid"`,
+		`"A" [shape=doublecircle]`,
+		`"0" [shape=circle, style=bold]`,
+		`"0" -> "1" [label="1"]`,
+		`"1" -> "A" [label="0.25"]`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	c := repairable(1, 5, 0.25)
+	if c.DOT("x") != c.DOT("x") {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := repairable(1, 5, 0.25)
+	s := c.Summarize()
+	if s.States != 3 || s.Transient != 2 || s.Absorbing != 1 {
+		t.Errorf("summary states: %+v", s)
+	}
+	if s.Transitions != 3 {
+		t.Errorf("transitions = %d, want 3", s.Transitions)
+	}
+	if s.MinRate != 0.25 || s.MaxRate != 5 {
+		t.Errorf("rates = [%v, %v], want [0.25, 5]", s.MinRate, s.MaxRate)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := NewChain().Summarize()
+	if s.States != 0 || s.Transitions != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestExpectedVisits(t *testing.T) {
+	// Two-state: exactly one visit to "0".
+	c := twoState(2)
+	visits, err := ExpectedVisits(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(visits["0"]-1) > 1e-12 {
+		t.Errorf("visits[0] = %v, want 1", visits["0"])
+	}
+	// Repairable: visits to "1" = p_return-weighted geometric; check
+	// consistency visits = τ·exit instead of re-deriving: from 0, every
+	// cycle visits 0 once and 1 once before either absorbing or
+	// returning, so visits(0) == visits(1) iff absorption only happens
+	// from 1 — which it does.
+	c2 := repairable(1, 5, 0.25)
+	v2, err := ExpectedVisits(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v2["0"]-v2["1"]) > 1e-9 {
+		t.Errorf("visits 0 (%v) != visits 1 (%v)", v2["0"], v2["1"])
+	}
+	// Expected visits to "1" = 1/P(absorb | in 1) = (b+c)/c = 21.
+	if math.Abs(v2["1"]-21) > 1e-9 {
+		t.Errorf("visits[1] = %v, want 21", v2["1"])
+	}
+}
+
+func TestTopStatesByTime(t *testing.T) {
+	c := repairable(1, 5, 0.25)
+	top, err := TopStatesByTime(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != "0" {
+		t.Errorf("top = %v, want [0 1] (healthy state dominates)", top)
+	}
+	one, err := TopStatesByTime(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Errorf("limited top = %v", one)
+	}
+}
+
+func TestTopStatesInvalidChain(t *testing.T) {
+	c := NewChain()
+	c.AddRate("a", "b", 1)
+	c.AddRate("b", "a", 1)
+	if _, err := TopStatesByTime(c, 0); err == nil {
+		t.Error("invalid chain accepted")
+	}
+	if _, err := ExpectedVisits(c); err == nil {
+		t.Error("invalid chain accepted by ExpectedVisits")
+	}
+}

@@ -1,0 +1,151 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lumping: collapsing groups of states into single macro-states. A
+// partition is *exactly lumpable* when, for every pair of blocks (B, B'),
+// all states in B have the same total rate into B'; the lumped process is
+// then itself a CTMC with identical absorption behaviour. The appendix's
+// recursive construction implicitly relies on such structure; this file
+// makes the operation available directly (and checkable), which also
+// yields small aggregate chains for quick what-if analysis.
+
+// Lump aggregates the chain by the given partition: partition[stateName] =
+// blockName. Every state must be assigned; absorbing states must share
+// blocks only with absorbing states; the block containing the initial
+// state becomes the lumped chain's initial state.
+//
+// When strict is true, Lump verifies exact lumpability (per-state rates
+// into each foreign block agree within tol, relative) and returns an error
+// on violation. When strict is false, the aggregated rates are the
+// initial-state-independent *average* over the block — a common
+// approximation whose error the caller accepts.
+func Lump(c *Chain, partition map[string]string, strict bool, tol float64) (*Chain, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	// Assign every state to a block.
+	blockOf := make([]string, c.NumStates())
+	members := make(map[string][]int)
+	for i := 0; i < c.NumStates(); i++ {
+		name := c.StateName(i)
+		block, ok := partition[name]
+		if !ok {
+			return nil, fmt.Errorf("markov: state %q missing from partition", name)
+		}
+		blockOf[i] = block
+		members[block] = append(members[block], i)
+	}
+	// Absorbing states must not share blocks with transient states.
+	absorbingBlock := make(map[string]bool)
+	for block, states := range members {
+		abs := 0
+		for _, s := range states {
+			if c.IsAbsorbing(s) {
+				abs++
+			}
+		}
+		if abs > 0 && abs != len(states) {
+			return nil, fmt.Errorf("markov: block %q mixes absorbing and transient states", block)
+		}
+		absorbingBlock[block] = abs > 0
+	}
+
+	lumped := NewChain()
+	lumped.SetInitial(blockOf[c.Initial()])
+	for block, isAbs := range absorbingBlock {
+		if isAbs {
+			lumped.SetAbsorbing(block)
+		}
+	}
+	// For each transient block, compute per-state rates into each foreign
+	// block and check agreement.
+	for block, states := range members {
+		if absorbingBlock[block] {
+			continue
+		}
+		perState := make([]map[string]float64, len(states))
+		for si, s := range states {
+			into := make(map[string]float64)
+			for _, e := range c.Successors(s) {
+				target := blockOf[e.To]
+				if target == block {
+					continue // internal transitions vanish
+				}
+				into[target] += e.Rate
+			}
+			perState[si] = into
+		}
+		// Union of target blocks.
+		targets := make(map[string]bool)
+		for _, into := range perState {
+			for t := range into {
+				targets[t] = true
+			}
+		}
+		for target := range targets {
+			ref := perState[0][target]
+			sum := 0.0
+			for si, into := range perState {
+				r := into[target]
+				sum += r
+				if strict {
+					den := math.Max(math.Abs(ref), math.Abs(r))
+					if den > 0 && math.Abs(r-ref)/den > tol {
+						return nil, fmt.Errorf("markov: not lumpable: states %q and %q disagree on rate into block %q (%g vs %g)",
+							c.StateName(states[0]), c.StateName(states[si]), target, ref, r)
+					}
+				}
+			}
+			lumped.AddRate(block, target, sum/float64(len(states)))
+		}
+	}
+	return lumped, nil
+}
+
+// LumpByDepth builds the partition that groups transient states by their
+// failure depth (count of 'N'/'d' letters for the appendix's labels,
+// decimal value for the internal-RAID chains) and all absorbing states
+// into "loss". It is the natural aggregation of this module's reliability
+// chains.
+func LumpByDepth(c *Chain) map[string]string {
+	partition := make(map[string]string, c.NumStates())
+	for i := 0; i < c.NumStates(); i++ {
+		name := c.StateName(i)
+		if c.IsAbsorbing(i) {
+			partition[name] = "loss"
+			continue
+		}
+		partition[name] = fmt.Sprintf("depth-%d", labelDepth(name))
+	}
+	return partition
+}
+
+// labelDepth counts failure letters in an appendix-style label, or parses
+// a decimal level label.
+func labelDepth(name string) int {
+	depth := 0
+	decimal := true
+	val := 0
+	for _, r := range name {
+		switch {
+		case r == 'N' || r == 'd':
+			depth++
+			decimal = false
+		case r >= '0' && r <= '9':
+			val = val*10 + int(r-'0')
+		default:
+			decimal = false
+		}
+	}
+	if decimal && name != "" {
+		return val
+	}
+	return depth
+}

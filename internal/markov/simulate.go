@@ -1,0 +1,109 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PathResult describes one simulated trajectory.
+type PathResult struct {
+	// Time is the total time until absorption.
+	Time float64
+	// Absorbed is the index of the absorbing state reached.
+	Absorbed int
+	// Steps is the number of transitions taken.
+	Steps int
+}
+
+// SamplePath simulates one trajectory from the initial state to absorption
+// using the standard competing-exponentials construction. maxSteps guards
+// against chains whose absorption is extremely rare; it returns an error if
+// exceeded.
+func SamplePath(c *Chain, rng *rand.Rand, maxSteps int) (PathResult, error) {
+	state := c.Initial()
+	var elapsed float64
+	for steps := 0; ; steps++ {
+		if c.IsAbsorbing(state) {
+			return PathResult{Time: elapsed, Absorbed: state, Steps: steps}, nil
+		}
+		if steps >= maxSteps {
+			return PathResult{}, fmt.Errorf("markov: path exceeded %d steps without absorption", maxSteps)
+		}
+		exit := c.ExitRate(state)
+		elapsed += rng.ExpFloat64() / exit
+		// Choose the successor proportionally to its rate.
+		u := rng.Float64() * exit
+		next := -1
+		for _, e := range c.Successors(state) {
+			u -= e.Rate
+			next = e.To
+			if u <= 0 {
+				break
+			}
+		}
+		state = next
+	}
+}
+
+// SimulationEstimate summarizes a Monte Carlo absorption-time experiment.
+type SimulationEstimate struct {
+	// Trials is the number of absorbed trajectories.
+	Trials int
+	// MeanTime is the sample mean time to absorption.
+	MeanTime float64
+	// StdErr is the standard error of MeanTime.
+	StdErr float64
+	// AbsorbedCount maps absorbing state name → number of trajectories
+	// ending there.
+	AbsorbedCount map[string]int
+	// MeanSteps is the average number of transitions per trajectory.
+	MeanSteps float64
+}
+
+// RelHalfWidth95 returns the half-width of the 95% confidence interval
+// relative to the mean (1.96·SE/mean), or +Inf for a zero mean.
+func (e SimulationEstimate) RelHalfWidth95() float64 {
+	if e.MeanTime == 0 {
+		return math.Inf(1)
+	}
+	return 1.96 * e.StdErr / e.MeanTime
+}
+
+// Simulate runs trials independent trajectories and aggregates them.
+// Each trajectory is capped at maxSteps transitions.
+func Simulate(c *Chain, rng *rand.Rand, trials, maxSteps int) (SimulationEstimate, error) {
+	if err := c.Validate(); err != nil {
+		return SimulationEstimate{}, err
+	}
+	if trials <= 0 {
+		return SimulationEstimate{}, fmt.Errorf("markov: trials must be positive, got %d", trials)
+	}
+	var (
+		sum, sumSq float64
+		steps      int
+		counts     = make(map[string]int)
+	)
+	for i := 0; i < trials; i++ {
+		p, err := SamplePath(c, rng, maxSteps)
+		if err != nil {
+			return SimulationEstimate{}, fmt.Errorf("trial %d: %w", i, err)
+		}
+		sum += p.Time
+		sumSq += p.Time * p.Time
+		steps += p.Steps
+		counts[c.StateName(p.Absorbed)]++
+	}
+	mean := sum / float64(trials)
+	variance := (sumSq - sum*mean) / float64(trials-1)
+	if trials == 1 || variance < 0 {
+		variance = 0
+	}
+	return SimulationEstimate{
+		Trials:        trials,
+		MeanTime:      mean,
+		StdErr:        math.Sqrt(variance / float64(trials)),
+		AbsorbedCount: counts,
+		MeanSteps:     float64(steps) / float64(trials),
+	}, nil
+}

@@ -1,0 +1,76 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// StationaryDistribution returns the steady-state probabilities π of an
+// irreducible chain (no absorbing states), solving π·Q = 0 with Σπ = 1 by
+// replacing one balance equation with the normalization constraint.
+//
+// It returns an error if the chain has absorbing states (their stationary
+// analysis is trivial and almost certainly not what the caller wants), has
+// unreachable states, or yields a singular system.
+func StationaryDistribution(c *Chain) ([]float64, error) {
+	n := c.NumStates()
+	if n == 0 {
+		return nil, fmt.Errorf("markov: empty chain")
+	}
+	if len(c.AbsorbingStates()) > 0 {
+		return nil, fmt.Errorf("markov: chain has absorbing states; stationary analysis needs an irreducible chain")
+	}
+	for i := 0; i < n; i++ {
+		if len(c.rates[i]) == 0 {
+			return nil, fmt.Errorf("markov: state %q has no outgoing transitions", c.names[i])
+		}
+	}
+	// Build Qᵀ, replace the last row with the normalization Σπ = 1.
+	q := c.Generator().Transpose()
+	a := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == n-1 {
+				a.Set(i, j, 1)
+			} else {
+				a.Set(i, j, q.At(i, j))
+			}
+		}
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: stationary solve: %w", err)
+	}
+	for i, p := range pi {
+		if p < -1e-9 {
+			return nil, fmt.Errorf("markov: negative stationary probability %g at state %q (chain not irreducible?)", p, c.names[i])
+		}
+		if p < 0 {
+			pi[i] = 0
+		}
+	}
+	return pi, nil
+}
+
+// OccupancyFractions returns, for an absorbing chain, the expected
+// fraction of the pre-absorption lifetime spent in each transient state —
+// TimeInState normalized by the mean time to absorption. For reliability
+// models this is a degraded-mode exposure profile: the share of a system's
+// life spent with 0, 1, 2, … outstanding failures.
+func OccupancyFractions(c *Chain) (map[string]float64, error) {
+	res, err := Absorption(c)
+	if err != nil {
+		return nil, err
+	}
+	if res.MeanTimeToAbsorption == 0 {
+		return map[string]float64{}, nil
+	}
+	out := make(map[string]float64, len(res.TimeInState))
+	for name, tau := range res.TimeInState {
+		out[name] = tau / res.MeanTimeToAbsorption
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// birthDeath builds an irreducible 3-state birth-death chain with known
+// stationary distribution π_i ∝ ∏ (λ_j/μ_j).
+func birthDeath(l0, l1, m1, m2 float64) *Chain {
+	c := NewChain()
+	c.AddRate("0", "1", l0)
+	c.AddRate("1", "0", m1)
+	c.AddRate("1", "2", l1)
+	c.AddRate("2", "1", m2)
+	return c
+}
+
+func TestStationaryBirthDeath(t *testing.T) {
+	l0, l1, m1, m2 := 1.0, 0.5, 4.0, 8.0
+	c := birthDeath(l0, l1, m1, m2)
+	pi, err := StationaryDistribution(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detailed balance: π1 = π0·l0/m1, π2 = π1·l1/m2.
+	r1 := l0 / m1
+	r2 := r1 * l1 / m2
+	z := 1 + r1 + r2
+	want := []float64{1 / z, r1 / z, r2 / z}
+	if !linalg.ApproxEqualVec(pi, want, 1e-12) {
+		t.Errorf("π = %v, want %v", pi, want)
+	}
+}
+
+func TestStationarySumsToOne(t *testing.T) {
+	c := birthDeath(2, 3, 5, 7)
+	pi, err := StationaryDistribution(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(linalg.Sum(pi)-1) > 1e-12 {
+		t.Errorf("Σπ = %v", linalg.Sum(pi))
+	}
+}
+
+func TestStationaryBalance(t *testing.T) {
+	// π·Q must vanish.
+	c := birthDeath(1.3, 0.7, 2.1, 9.9)
+	pi, err := StationaryDistribution(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := c.Generator().VecMul(pi)
+	for i, f := range flow {
+		if math.Abs(f) > 1e-12 {
+			t.Errorf("net flow %g at state %d", f, i)
+		}
+	}
+}
+
+func TestStationaryRejectsAbsorbing(t *testing.T) {
+	c := NewChain()
+	c.AddRate("a", "b", 1)
+	c.SetAbsorbing("b")
+	if _, err := StationaryDistribution(c); err == nil {
+		t.Error("absorbing chain accepted")
+	}
+}
+
+func TestStationaryRejectsDeadEnd(t *testing.T) {
+	c := NewChain()
+	c.AddRate("a", "b", 1)
+	// b has no outgoing edges but is not marked absorbing.
+	if _, err := StationaryDistribution(c); err == nil {
+		t.Error("dead-end chain accepted")
+	}
+}
+
+func TestStationaryEmpty(t *testing.T) {
+	if _, err := StationaryDistribution(NewChain()); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestOccupancyFractions(t *testing.T) {
+	c := repairable(1, 5, 0.25)
+	occ, err := OccupancyFractions(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range occ {
+		if f < 0 || f > 1 {
+			t.Errorf("fraction %v out of range", f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	// Strong repair: nearly all lifetime in the healthy state.
+	if occ["0"] < 0.8 {
+		t.Errorf("occupancy of healthy state = %v, want > 0.8", occ["0"])
+	}
+}
+
+func TestOccupancyFractionsInitialAbsorbing(t *testing.T) {
+	c := NewChain()
+	c.SetAbsorbing("A")
+	c.SetInitial("A")
+	c.AddRate("x", "A", 1)
+	c.SetInitial("A")
+	occ, err := OccupancyFractions(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 0 {
+		t.Errorf("occupancy = %v, want empty", occ)
+	}
+}

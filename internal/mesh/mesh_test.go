@@ -1,0 +1,162 @@
+package mesh
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestDimensionsCubes(t *testing.T) {
+	cases := map[int][3]int{
+		1:   {1, 1, 1},
+		8:   {2, 2, 2},
+		27:  {3, 3, 3},
+		64:  {4, 4, 4},
+		125: {5, 5, 5},
+	}
+	for n, want := range cases {
+		a, b, c := Dimensions(n)
+		if [3]int{a, b, c} != want {
+			t.Errorf("Dimensions(%d) = %d×%d×%d, want %v", n, a, b, c, want)
+		}
+	}
+}
+
+func TestDimensionsNonCubes(t *testing.T) {
+	for _, n := range []int{2, 5, 12, 48, 100, 200} {
+		a, b, c := Dimensions(n)
+		if a*b*c < n {
+			t.Errorf("Dimensions(%d) = %d×%d×%d too small", n, a, b, c)
+		}
+		if a < b || b < c {
+			t.Errorf("Dimensions(%d) = %d×%d×%d not ordered", n, a, b, c)
+		}
+		// The excess should be modest (under one full layer).
+		if a*b*c >= n+a*b {
+			t.Errorf("Dimensions(%d) = %d×%d×%d wasteful", n, a, b, c)
+		}
+	}
+}
+
+func TestDimensionsInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dimensions(0) did not panic")
+		}
+	}()
+	Dimensions(0)
+}
+
+func TestMeanHopsKnownValues(t *testing.T) {
+	// 4×4×4 torus: 3 × (4/4) = 3 — the paper's baseline lattice.
+	if got := MeanHops(64, Torus); math.Abs(got-3) > 1e-12 {
+		t.Errorf("MeanHops(64, torus) = %v, want 3", got)
+	}
+	// 2×2×2 torus: 3 × (2/4) = 1.5.
+	if got := MeanHops(8, Torus); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("MeanHops(8, torus) = %v, want 1.5", got)
+	}
+	// 3×3×3 torus: 3 × (9-1)/(12) = 2.
+	if got := MeanHops(27, Torus); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MeanHops(27, torus) = %v, want 2", got)
+	}
+	// 4×4×4 open mesh: 3 × 15/12 = 3.75.
+	if got := MeanHops(64, Mesh); math.Abs(got-3.75) > 1e-12 {
+		t.Errorf("MeanHops(64, mesh) = %v, want 3.75", got)
+	}
+	// Single node: no hops.
+	if got := MeanHops(1, Torus); got != 0 {
+		t.Errorf("MeanHops(1) = %v", got)
+	}
+}
+
+func TestMeanHopsBruteForce(t *testing.T) {
+	// Verify the closed forms against explicit enumeration for a 3×2×2
+	// lattice (12 nodes), both topologies.
+	for _, topo := range []Topology{Torus, Mesh} {
+		a, b, c := Dimensions(12)
+		dims := []int{a, b, c}
+		var total float64
+		var pairs int
+		coords := make([][3]int, 0, 12)
+		for x := 0; x < dims[0]; x++ {
+			for y := 0; y < dims[1]; y++ {
+				for z := 0; z < dims[2]; z++ {
+					coords = append(coords, [3]int{x, y, z})
+				}
+			}
+		}
+		dist := func(u, v, k int) float64 {
+			d := u - v
+			if d < 0 {
+				d = -d
+			}
+			if topo == Torus && k-d < d {
+				d = k - d
+			}
+			return float64(d)
+		}
+		for _, u := range coords {
+			for _, v := range coords {
+				total += dist(u[0], v[0], dims[0]) + dist(u[1], v[1], dims[1]) + dist(u[2], v[2], dims[2])
+				pairs++
+			}
+		}
+		want := total / float64(pairs)
+		if got := MeanHops(12, topo); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%v: MeanHops(12) = %v, brute force %v", topo, got, want)
+		}
+	}
+}
+
+func TestEffectiveLinksBaseline(t *testing.T) {
+	// The paper's 64-node torus yields exactly the 2.0 effective links
+	// that params.Baseline() uses.
+	if got := EffectiveLinks(64, Torus); math.Abs(got-2) > 1e-12 {
+		t.Errorf("EffectiveLinks(64, torus) = %v, want 2.0", got)
+	}
+	// An open mesh is strictly worse.
+	if EffectiveLinks(64, Mesh) >= EffectiveLinks(64, Torus) {
+		t.Error("mesh should underperform torus")
+	}
+	// Small lattices cap at 6.
+	if got := EffectiveLinks(1, Torus); got != 6 {
+		t.Errorf("EffectiveLinks(1) = %v, want 6", got)
+	}
+}
+
+func TestEffectiveLinksMonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{8, 27, 64, 125, 216, 512} {
+		got := EffectiveLinks(n, Torus)
+		if got > prev {
+			t.Errorf("EffectiveLinks(%d) = %v increased", n, got)
+		}
+		prev = got
+	}
+}
+
+func TestDeriveMatchesBaselineDefault(t *testing.T) {
+	p := params.Baseline()
+	derived := Derive(p, Torus)
+	if math.Abs(derived.EffectiveLinks-p.EffectiveLinks) > 1e-12 {
+		t.Errorf("torus-derived links %v != baseline default %v",
+			derived.EffectiveLinks, p.EffectiveLinks)
+	}
+	// Growing the fleet lengthens paths and shrinks effective bandwidth.
+	p.NodeSetSize = 512
+	if Derive(p, Torus).EffectiveLinks >= 2 {
+		t.Error("512-node torus should fall below 2 effective links")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if Torus.String() != "torus" || Mesh.String() != "mesh" {
+		t.Error("topology names wrong")
+	}
+	if !strings.Contains(Topology(7).String(), "7") {
+		t.Error("unknown topology String should include value")
+	}
+}

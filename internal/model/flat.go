@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/closedform"
+	"repro/internal/combinat"
+	"repro/internal/markov"
+)
+
+// FlatIRInputs parameterizes the flat (non-hierarchical) internal-RAID
+// model: instead of collapsing each node's array into the λ_D/λ_S rates of
+// Section 4.2, the chain tracks the joint state
+//
+//	(i, j) = (outstanding node-level failures, arrays mid-restripe)
+//
+// making restripe/rebuild interactions explicit. Solving it quantifies the
+// error of the paper's hierarchical decomposition. RAID 5 only (one
+// restripe class); the hierarchy's error is largest there because λ_S is
+// largest.
+type FlatIRInputs struct {
+	// N nodes of D drives; redundancy sets of size R with fault
+	// tolerance K across nodes.
+	N, R, D, K int
+	// LambdaN and LambdaD are node and per-drive failure rates; MuN the
+	// node rebuild rate; MuRestripe the array restripe rate; CHER the
+	// expected uncorrectable errors per full-drive read.
+	LambdaN, LambdaD, MuN, MuRestripe, CHER float64
+}
+
+// FlatIRChain builds the joint chain. States are labelled "i,j"; data loss
+// is the absorbing state. Transitions from (i, j), with A = N-i intact or
+// restriping nodes and I = A-j fully intact nodes:
+//
+//	I·λ_N            → (i+1, j)    intact node hardware failure
+//	j·λ_N            → (i+1, j-1)  restriping node hardware failure
+//	I·d·λ_d          → (i, j+1)    drive failure starts a restripe
+//	j·(d-1)·λ_d      → (i+1, j-1)  second drive failure: array failure
+//	j·μ_rs           → (i, j-1)    restripe completes; when i == K the
+//	                               read may hit an uncorrectable error in
+//	                               a critical redundancy set:
+//	                               probability h·k_K branches to loss
+//	μ_N (i ≥ 1)      → (i-1, j)    node rebuild completes (LIFO, as in
+//	                               the hierarchical chains)
+//
+// and i = K+1 is data loss.
+func FlatIRChain(in FlatIRInputs) *markov.Chain {
+	if in.K < 1 || in.N <= in.K+1 || in.R < in.K+1 || in.R > in.N || in.D < 2 {
+		panic(fmt.Sprintf("model: invalid flat IR geometry %+v", in))
+	}
+	h := float64(in.D-1) * in.CHER
+	if h > 1 {
+		h = 1
+	}
+	kk := combinat.CriticalFraction(in.N, in.R, in.K)
+	c := markov.NewChain()
+	name := func(i, j int) string { return fmt.Sprintf("%d,%d", i, j) }
+	c.SetInitial(name(0, 0))
+	c.SetAbsorbing("loss")
+
+	d := float64(in.D)
+	for i := 0; i <= in.K; i++ {
+		maxJ := in.N - i
+		for j := 0; j <= maxJ; j++ {
+			from := name(i, j)
+			intact := float64(in.N - i - j)
+			// Node hardware failures.
+			toUp := name(i+1, j)
+			if i == in.K {
+				toUp = "loss"
+			}
+			c.AddRate(from, toUp, intact*in.LambdaN)
+			if j > 0 {
+				toUpRestriping := name(i+1, j-1)
+				if i == in.K {
+					toUpRestriping = "loss"
+				}
+				c.AddRate(from, toUpRestriping, float64(j)*in.LambdaN)
+				// Array failures (second drive during restripe).
+				c.AddRate(from, toUpRestriping, float64(j)*(d-1)*in.LambdaD)
+				// Restripe completions, with the critical-UE branch.
+				complete := float64(j) * in.MuRestripe
+				if i == in.K && h*kk > 0 {
+					c.AddRate(from, "loss", complete*h*kk)
+					complete *= 1 - h*kk
+				}
+				c.AddRate(from, name(i, j-1), complete)
+			}
+			// New restripes.
+			if j < maxJ {
+				c.AddRate(from, name(i, j+1), intact*d*in.LambdaD)
+			}
+			// Node rebuild.
+			if i > 0 {
+				c.AddRate(from, name(i-1, j), in.MuN)
+			}
+		}
+	}
+	return c
+}
+
+// HierarchicalIRInputs derives the Section 4.2 hierarchical inputs from
+// the same physical parameters, for side-by-side comparison.
+func HierarchicalIRInputs(in FlatIRInputs) closedform.IRInputs {
+	arr := closedform.ArrayInputs{
+		D: in.D, LambdaD: in.LambdaD, MuD: in.MuRestripe, CHER: in.CHER,
+	}
+	return closedform.IRInputs{
+		N: in.N, R: in.R,
+		LambdaN:      in.LambdaN,
+		LambdaArray:  closedform.ArrayFailureRate(1, arr),
+		LambdaSector: closedform.SectorErrorRate(1, arr),
+		MuN:          in.MuN,
+	}
+}

@@ -1,0 +1,73 @@
+// Package model constructs the paper's concrete Markov chains:
+//
+//   - Figure 1 (RAID 5 array) and Figure 4 (RAID 6 array);
+//   - Figures 5–7 (nodes with internal RAID, fault tolerance 1–3),
+//     generalized to arbitrary fault tolerance;
+//   - Figures 8–10 (nodes without internal RAID), generalized to arbitrary
+//     fault tolerance via the appendix's recursive construction over state
+//     labels in {0, N, d}^k.
+//
+// The chains are solved exactly by internal/markov; internal/closedform
+// holds the corresponding printed approximations. Comparing the two
+// reproduces the paper's claim that the closed forms are accurate whenever
+// failure rates are well separated from repair rates.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/closedform"
+	"repro/internal/markov"
+)
+
+// RAID5Chain builds the Figure 1 chain for a RAID 5 array.
+//
+// State 0: fully operational. State 1: one drive failed, restriping, no
+// uncorrectable error will occur. State 2 (absorbing): data loss, from a
+// second drive failure during the restripe or an uncorrectable read error
+// while reconstructing, with probability h = (d-1)·C·HER per failure.
+func RAID5Chain(in closedform.ArrayInputs) *markov.Chain {
+	if in.D < 2 {
+		panic(fmt.Sprintf("model: RAID5 needs at least 2 drives, got %d", in.D))
+	}
+	d := float64(in.D)
+	h := (d - 1) * in.CHER
+	if h > 1 {
+		h = 1
+	}
+	c := markov.NewChain()
+	c.SetInitial("0")
+	c.SetAbsorbing("loss")
+	c.AddRate("0", "1", d*in.LambdaD*(1-h))
+	c.AddRate("0", "loss", d*in.LambdaD*h)
+	c.AddRate("1", "0", in.MuD)
+	c.AddRate("1", "loss", (d-1)*in.LambdaD)
+	return c
+}
+
+// RAID6Chain builds the Figure 4 chain for a RAID 6 array.
+//
+// State 0: fully operational. State 1: one drive failed. State 2: two
+// drives failed, rebuilding with no uncorrectable error. State 3
+// (absorbing): data loss from a third failure or an uncorrectable error
+// while rebuilding with two drives down (h = (d-2)·C·HER).
+func RAID6Chain(in closedform.ArrayInputs) *markov.Chain {
+	if in.D < 3 {
+		panic(fmt.Sprintf("model: RAID6 needs at least 3 drives, got %d", in.D))
+	}
+	d := float64(in.D)
+	h := (d - 2) * in.CHER
+	if h > 1 {
+		h = 1
+	}
+	c := markov.NewChain()
+	c.SetInitial("0")
+	c.SetAbsorbing("loss")
+	c.AddRate("0", "1", d*in.LambdaD)
+	c.AddRate("1", "0", in.MuD)
+	c.AddRate("1", "2", (d-1)*in.LambdaD*(1-h))
+	c.AddRate("1", "loss", (d-1)*in.LambdaD*h)
+	c.AddRate("2", "1", in.MuD)
+	c.AddRate("2", "loss", (d-2)*in.LambdaD)
+	return c
+}

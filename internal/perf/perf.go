@@ -1,0 +1,90 @@
+// Package perf estimates the foreground-performance cost of the paper's
+// redundancy configurations — the flip side of the reliability analysis.
+// The paper reserves a fixed fraction of drive and link bandwidth for
+// rebuild work (Section 6's 10%); during degraded intervals foreground
+// reads of lost data additionally fan out to R-t surviving elements
+// (on-the-fly reconstruction through the erasure code).
+//
+// Combining the per-depth throughput model with the exact chains' expected
+// state occupancies (core.Exposure) yields the expected long-run
+// foreground capacity of each configuration.
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/params"
+)
+
+// DepthPerf is the foreground capacity with a given number of outstanding
+// node-level failures.
+type DepthPerf struct {
+	// Depth is the number of outstanding failures.
+	Depth int
+	// ReadAmplification is the average number of element reads per
+	// logical read: 1 for intact data, R-t for data on failed nodes.
+	ReadAmplification float64
+	// ForegroundIOPS is the fleet-wide foreground read capacity.
+	ForegroundIOPS float64
+}
+
+// Profile is a configuration's performance summary.
+type Profile struct {
+	Config core.Config
+	// HealthyIOPS is the depth-0 foreground capacity (the rebuild
+	// reservation still applies — it is reserved, not merely used).
+	HealthyIOPS float64
+	// ByDepth has one entry per possible failure depth (0..t).
+	ByDepth []DepthPerf
+	// ExpectedIOPS is the exposure-weighted long-run capacity.
+	ExpectedIOPS float64
+	// WorstCaseFraction is the deepest degraded capacity relative to
+	// healthy.
+	WorstCaseFraction float64
+}
+
+// Analyze computes the performance profile of a configuration using the
+// exact chain's degraded-mode exposure.
+func Analyze(p params.Parameters, cfg core.Config) (Profile, error) {
+	exposure, err := core.Exposure(p, cfg)
+	if err != nil {
+		return Profile{}, err
+	}
+	prof := Profile{Config: cfg}
+	totalIOPS := float64(p.NodeSetSize*p.DrivesPerNode) * p.DriveMaxIOPS
+	foregroundShare := 1 - p.RebuildBandwidthFraction
+	sources := float64(p.RedundancySetSize - cfg.NodeFaultTolerance)
+
+	for depth, fraction := range exposure.FractionByDepth {
+		// A fraction depth/N of the data needs reconstruction on read.
+		lost := float64(depth) / float64(p.NodeSetSize)
+		amp := (1-lost)*1 + lost*sources
+		iops := totalIOPS * foregroundShare / amp
+		prof.ByDepth = append(prof.ByDepth, DepthPerf{
+			Depth:             depth,
+			ReadAmplification: amp,
+			ForegroundIOPS:    iops,
+		})
+		prof.ExpectedIOPS += fraction * iops
+	}
+	if len(prof.ByDepth) == 0 {
+		return Profile{}, fmt.Errorf("perf: empty exposure profile for %v", cfg)
+	}
+	prof.HealthyIOPS = prof.ByDepth[0].ForegroundIOPS
+	prof.WorstCaseFraction = prof.ByDepth[len(prof.ByDepth)-1].ForegroundIOPS / prof.HealthyIOPS
+	return prof, nil
+}
+
+// CompareConfigs profiles several configurations, preserving order.
+func CompareConfigs(p params.Parameters, cfgs []core.Config) ([]Profile, error) {
+	out := make([]Profile, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		prof, err := Analyze(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %v: %w", cfg, err)
+		}
+		out = append(out, prof)
+	}
+	return out, nil
+}

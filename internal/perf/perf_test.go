@@ -1,0 +1,101 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/params"
+)
+
+func TestAnalyzeHealthyCapacity(t *testing.T) {
+	p := params.Baseline()
+	prof, err := Analyze(p, core.Config{Internal: core.InternalNone, NodeFaultTolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 × 12 × 150 IOPS × 90% foreground share.
+	want := 64 * 12 * 150 * 0.9
+	if math.Abs(prof.HealthyIOPS-want) > 1e-9 {
+		t.Errorf("HealthyIOPS = %v, want %v", prof.HealthyIOPS, want)
+	}
+}
+
+func TestAnalyzeDepthStructure(t *testing.T) {
+	p := params.Baseline()
+	cfg := core.Config{Internal: core.InternalNone, NodeFaultTolerance: 2}
+	prof, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.ByDepth) != 3 {
+		t.Fatalf("depths = %d, want 3", len(prof.ByDepth))
+	}
+	for i, dp := range prof.ByDepth {
+		if dp.Depth != i {
+			t.Errorf("ByDepth[%d].Depth = %d", i, dp.Depth)
+		}
+		if i > 0 && dp.ForegroundIOPS >= prof.ByDepth[i-1].ForegroundIOPS {
+			t.Errorf("IOPS not decreasing with depth: %v", prof.ByDepth)
+		}
+		if i > 0 && dp.ReadAmplification <= prof.ByDepth[i-1].ReadAmplification {
+			t.Errorf("amplification not increasing with depth")
+		}
+	}
+	if prof.ByDepth[0].ReadAmplification != 1 {
+		t.Errorf("healthy amplification = %v, want 1", prof.ByDepth[0].ReadAmplification)
+	}
+}
+
+func TestExpectedNearHealthy(t *testing.T) {
+	// Systems spend >99.8% of lifetime healthy, so expected capacity
+	// lands within a fraction of a percent of healthy capacity.
+	p := params.Baseline()
+	for _, cfg := range core.SensitivityConfigs() {
+		prof, err := Analyze(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prof.ExpectedIOPS > prof.HealthyIOPS {
+			t.Errorf("%v: expected exceeds healthy", cfg)
+		}
+		if prof.ExpectedIOPS < 0.99*prof.HealthyIOPS {
+			t.Errorf("%v: expected %.4g far below healthy %.4g", cfg, prof.ExpectedIOPS, prof.HealthyIOPS)
+		}
+		if prof.WorstCaseFraction <= 0 || prof.WorstCaseFraction >= 1 {
+			t.Errorf("%v: worst-case fraction %v", cfg, prof.WorstCaseFraction)
+		}
+	}
+}
+
+func TestHigherFaultToleranceCostsWorstCase(t *testing.T) {
+	// More tolerated failures → deeper possible degradation → lower
+	// worst-case capacity fraction.
+	p := params.Baseline()
+	ft2, err := Analyze(p, core.Config{Internal: core.InternalNone, NodeFaultTolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft3, err := Analyze(p, core.Config{Internal: core.InternalNone, NodeFaultTolerance: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft3.WorstCaseFraction >= ft2.WorstCaseFraction {
+		t.Errorf("FT3 worst case %v not below FT2's %v", ft3.WorstCaseFraction, ft2.WorstCaseFraction)
+	}
+}
+
+func TestCompareConfigs(t *testing.T) {
+	p := params.Baseline()
+	profs, err := CompareConfigs(p, core.SensitivityConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 3 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	bad := []core.Config{{Internal: core.InternalNone, NodeFaultTolerance: 0}}
+	if _, err := CompareConfigs(p, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

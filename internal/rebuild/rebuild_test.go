@@ -1,0 +1,206 @@
+package rebuild
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestDriveThroughputIOPSLimited(t *testing.T) {
+	p := params.Baseline()
+	// 150 IOPS × 128 KiB = 19.66 MB/s < 40 MB/s, then ×10%.
+	want := 150 * 128 * 1024 * 0.10
+	if got := DriveThroughput(p, p.RebuildCommandBytes); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DriveThroughput(128 KiB) = %v, want %v", got, want)
+	}
+}
+
+func TestDriveThroughputTransferLimited(t *testing.T) {
+	p := params.Baseline()
+	// 150 IOPS × 1 MiB = 157 MB/s > 40 MB/s cap, then ×10%.
+	want := 40e6 * 0.10
+	if got := DriveThroughput(p, p.RestripeCommandBytes); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DriveThroughput(1 MiB) = %v, want %v", got, want)
+	}
+}
+
+func TestDriveThroughputMonotoneInCommandSize(t *testing.T) {
+	p := params.Baseline()
+	prev := 0.0
+	for _, b := range []float64{4 * params.KiB, 16 * params.KiB, 64 * params.KiB, 256 * params.KiB, params.MiB} {
+		got := DriveThroughput(p, b)
+		if got < prev {
+			t.Errorf("throughput decreased at command size %v: %v < %v", b, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestNetworkThroughput(t *testing.T) {
+	p := params.Baseline()
+	// 2 links × 800 MB/s × 10%.
+	if got, want := NetworkThroughput(p), 160e6; math.Abs(got-want) > 1e-6 {
+		t.Errorf("NetworkThroughput = %v, want %v", got, want)
+	}
+}
+
+func TestNodeRebuildBaselineDiskLimited(t *testing.T) {
+	p := params.Baseline()
+	hours, b := NodeRebuildTimeHours(p, 2)
+	if b != BottleneckDisk {
+		t.Errorf("baseline node rebuild bottleneck = %v, want disk", b)
+	}
+	// Per survivor: (R-t+1)/(N-1)·2.7 TB = 7/63·2.7e12 = 300 GB at
+	// 12 drives × 150 IOPS × 128 KiB × 10% = 23.6 MB/s → ≈ 3.53 h.
+	want := 7.0 / 63.0 * 2.7e12 / (12 * 150 * 128 * 1024 * 0.10) / 3600
+	if math.Abs(hours-want)/want > 1e-12 {
+		t.Errorf("node rebuild time = %v h, want %v h", hours, want)
+	}
+}
+
+func TestNodeRebuildSlowLinkNetworkLimited(t *testing.T) {
+	p := params.Baseline()
+	p.LinkSpeedGbps = 1
+	_, b := NodeRebuildTimeHours(p, 2)
+	if b != BottleneckNetwork {
+		t.Errorf("1 Gb/s node rebuild bottleneck = %v, want network", b)
+	}
+}
+
+func TestRebuildTimeDecreasesWithFaultToleranceUsed(t *testing.T) {
+	// Higher t means fewer source elements are needed per rebuilt element,
+	// so rebuild time must not increase with t.
+	p := params.Baseline()
+	prev := math.Inf(1)
+	for ft := 1; ft <= 3; ft++ {
+		hours, _ := NodeRebuildTimeHours(p, ft)
+		if hours > prev {
+			t.Errorf("node rebuild time increased at t=%d: %v > %v", ft, hours, prev)
+		}
+		prev = hours
+	}
+}
+
+func TestDriveRebuildScalesWithNodeRebuild(t *testing.T) {
+	// One drive holds 1/d of a node's data, and the same flow model
+	// applies, so the drive rebuild should be exactly d times faster.
+	p := params.Baseline()
+	nodeH, _ := NodeRebuildTimeHours(p, 2)
+	driveH, _ := DriveRebuildTimeHours(p, 2)
+	if got, want := nodeH/driveH, float64(p.DrivesPerNode); math.Abs(got-want) > 1e-9 {
+		t.Errorf("node/drive rebuild time ratio = %v, want %v", got, want)
+	}
+}
+
+func TestRestripeTime(t *testing.T) {
+	p := params.Baseline()
+	// Read + write of each survivor's 225 GB at 4 MB/s per drive:
+	// 2 × 225e9 / 4e6 = 112500 s = 31.25 h.
+	want := 31.25
+	if got := RestripeTimeHours(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RestripeTimeHours = %v, want %v", got, want)
+	}
+}
+
+func TestRestripeSingleDriveInfinite(t *testing.T) {
+	p := params.Baseline()
+	p.DrivesPerNode = 1
+	if got := RestripeTimeHours(p); !math.IsInf(got, 1) {
+		t.Errorf("RestripeTimeHours with 1 drive = %v, want +Inf", got)
+	}
+}
+
+func TestComputeRatesConsistent(t *testing.T) {
+	p := params.Baseline()
+	rates := Compute(p, 2)
+	nodeH, _ := NodeRebuildTimeHours(p, 2)
+	if math.Abs(rates.NodeRebuild*nodeH-1) > 1e-12 {
+		t.Errorf("NodeRebuild rate inconsistent with time")
+	}
+	driveH, _ := DriveRebuildTimeHours(p, 2)
+	if math.Abs(rates.DriveRebuild*driveH-1) > 1e-12 {
+		t.Errorf("DriveRebuild rate inconsistent with time")
+	}
+	if math.Abs(rates.Restripe*RestripeTimeHours(p)-1) > 1e-12 {
+		t.Errorf("Restripe rate inconsistent with time")
+	}
+	if rates.NodeBottleneck != BottleneckDisk {
+		t.Errorf("baseline NodeBottleneck = %v, want disk", rates.NodeBottleneck)
+	}
+}
+
+func TestComputeFaultToleranceRangePanics(t *testing.T) {
+	p := params.Baseline()
+	for _, ft := range []int{0, 8, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Compute(t=%d) did not panic", ft)
+				}
+			}()
+			Compute(p, ft)
+		}()
+	}
+}
+
+func TestCrossoverNearThreeGbps(t *testing.T) {
+	// The paper (Section 7, Figure 17): the rebuild is link-constrained
+	// "up to around 3 Gb/s" at baseline. Our calibration should land the
+	// crossover between 1 and 5 Gb/s so Figure 17's shape reproduces
+	// (1 Gb/s worse; 5 and 10 Gb/s identical).
+	p := params.Baseline()
+	cross := CrossoverLinkSpeedGbps(p, 2)
+	if cross <= 1 || cross >= 5 {
+		t.Errorf("crossover = %v Gb/s, want within (1, 5)", cross)
+	}
+}
+
+func TestCrossoverMatchesBottleneckSwitch(t *testing.T) {
+	p := params.Baseline()
+	cross := CrossoverLinkSpeedGbps(p, 2)
+	p.LinkSpeedGbps = cross * 0.9
+	if _, b := NodeRebuildTimeHours(p, 2); b != BottleneckNetwork {
+		t.Errorf("below crossover: bottleneck = %v, want network", b)
+	}
+	p.LinkSpeedGbps = cross * 1.1
+	if _, b := NodeRebuildTimeHours(p, 2); b != BottleneckDisk {
+		t.Errorf("above crossover: bottleneck = %v, want disk", b)
+	}
+}
+
+func TestRebuildRateFlatAboveCrossover(t *testing.T) {
+	// Figure 17: no reliability difference between 5 and 10 Gb/s because
+	// both are disk-limited.
+	p5 := params.Baseline()
+	p5.LinkSpeedGbps = 5
+	p10 := params.Baseline()
+	h5, _ := NodeRebuildTimeHours(p5, 2)
+	h10, _ := NodeRebuildTimeHours(p10, 2)
+	if h5 != h10 {
+		t.Errorf("node rebuild differs between 5 Gb/s (%v) and 10 Gb/s (%v)", h5, h10)
+	}
+}
+
+func TestBottleneckString(t *testing.T) {
+	if BottleneckDisk.String() != "disk" || BottleneckNetwork.String() != "network" {
+		t.Error("Bottleneck.String() wrong")
+	}
+	if !strings.Contains(Bottleneck(9).String(), "9") {
+		t.Error("unknown bottleneck String() should include the value")
+	}
+}
+
+func TestLargerBlocksNeverSlowRebuild(t *testing.T) {
+	p := params.Baseline()
+	prev := math.Inf(1)
+	for _, b := range []float64{4 * params.KiB, 8 * params.KiB, 32 * params.KiB, 128 * params.KiB, 512 * params.KiB, params.MiB} {
+		p.RebuildCommandBytes = b
+		h, _ := NodeRebuildTimeHours(p, 2)
+		if h > prev {
+			t.Errorf("node rebuild slower with larger block %v: %v > %v", b, h, prev)
+		}
+		prev = h
+	}
+}

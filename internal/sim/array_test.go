@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/closedform"
+	"repro/internal/markov"
+	"repro/internal/model"
+)
+
+func acceleratedArray(parity int) (ArrayScenario, closedform.ArrayInputs) {
+	sc := ArrayScenario{
+		D: 8, Parity: parity,
+		LambdaD: 2e-3, MuRestripe: 1,
+		CHER:   0.005,
+		Repair: RepairExponential,
+	}
+	in := closedform.ArrayInputs{
+		D: sc.D, LambdaD: sc.LambdaD, MuD: sc.MuRestripe, CHER: sc.CHER,
+	}
+	return sc, in
+}
+
+func TestArrayScenarioValidate(t *testing.T) {
+	sc, _ := acceleratedArray(1)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	mutations := []func(*ArrayScenario){
+		func(s *ArrayScenario) { s.Parity = 0 },
+		func(s *ArrayScenario) { s.Parity = 3 },
+		func(s *ArrayScenario) { s.D = 1 },
+		func(s *ArrayScenario) { s.LambdaD = 0 },
+		func(s *ArrayScenario) { s.MuRestripe = 0 },
+		func(s *ArrayScenario) { s.CHER = -1 },
+		func(s *ArrayScenario) { s.Repair = 0 },
+	}
+	for i, mutate := range mutations {
+		s := sc
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// The mechanistic array simulation must reproduce the Figure 1 chain's
+// exact MTTDL.
+func TestArraySimMatchesRAID5Chain(t *testing.T) {
+	sc, in := acceleratedArray(1)
+	want, err := markov.MTTA(model.RAID5Chain(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateArrayMTTDL(sc, rand.New(rand.NewSource(61)), 6000, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(est.MeanHours - want); diff > 5*est.StdErr+0.05*want {
+		t.Errorf("array DES %v ± %v vs RAID5 chain %v", est.MeanHours, est.StdErr, want)
+	}
+}
+
+// ...and the Figure 4 chain for RAID 6.
+func TestArraySimMatchesRAID6Chain(t *testing.T) {
+	sc, in := acceleratedArray(2)
+	want, err := markov.MTTA(model.RAID6Chain(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateArrayMTTDL(sc, rand.New(rand.NewSource(62)), 3000, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RAID 6 has a mild LIFO-vs-batched-restripe modelling gap; allow 15%.
+	if diff := math.Abs(est.MeanHours - want); diff > 5*est.StdErr+0.15*want {
+		t.Errorf("array DES %v ± %v vs RAID6 chain %v", est.MeanHours, est.StdErr, want)
+	}
+}
+
+func TestArraySimRAID6BeatsRAID5(t *testing.T) {
+	sc1, _ := acceleratedArray(1)
+	sc2, _ := acceleratedArray(2)
+	est1, err := EstimateArrayMTTDL(sc1, rand.New(rand.NewSource(63)), 2000, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est2, err := EstimateArrayMTTDL(sc2, rand.New(rand.NewSource(64)), 2000, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.MeanHours <= est1.MeanHours {
+		t.Errorf("RAID6 sim %v not above RAID5 sim %v", est2.MeanHours, est1.MeanHours)
+	}
+}
+
+func TestArraySimTooReliable(t *testing.T) {
+	sc, _ := acceleratedArray(2)
+	sc.LambdaD = 1e-9
+	sc.CHER = 0
+	if _, err := RunArrayUntilLoss(sc, rand.New(rand.NewSource(65)), 1000); err == nil {
+		t.Error("expected max-events error")
+	}
+}
+
+func TestEstimateArrayValidation(t *testing.T) {
+	sc, _ := acceleratedArray(1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := EstimateArrayMTTDL(sc, rng, 1, 100); err == nil {
+		t.Error("trials=1 accepted")
+	}
+	bad := sc
+	bad.D = 0
+	if _, err := EstimateArrayMTTDL(bad, rng, 10, 100); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}

@@ -1,0 +1,508 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/combinat"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/params"
+	"repro/internal/rebuild"
+)
+
+// RepairDistribution selects how rebuild and restripe durations are drawn.
+type RepairDistribution int
+
+const (
+	// RepairExponential matches the Markov models' memoryless repairs.
+	RepairExponential RepairDistribution = iota + 1
+	// RepairDeterministic uses the mean duration exactly — closer to a
+	// real system whose rebuild time is data volume over bandwidth. The
+	// gap between the two quantifies one of the paper's modelling
+	// simplifications.
+	RepairDeterministic
+)
+
+// Scenario fixes the simulated system. Rates are per hour.
+type Scenario struct {
+	// N nodes of D drives; redundancy sets of size R with inter-node
+	// fault tolerance T. ParityDrives is the internal RAID parity count m
+	// (0 = no internal RAID).
+	N, R, D, T, ParityDrives int
+	// LambdaN, LambdaD are node and per-drive failure rates.
+	LambdaN, LambdaD float64
+	// MuN, MuD are node and (no-internal-RAID) drive rebuild rates;
+	// MuRestripe is the internal-RAID restripe rate.
+	MuN, MuD, MuRestripe float64
+	// CHER is C·HER, expected hard errors per full-drive read.
+	CHER float64
+	// Repair selects the repair-time distribution.
+	Repair RepairDistribution
+	// NodeFailureShape and DriveFailureShape are Weibull shape parameters
+	// for component lifetimes (0 or 1 = exponential, the models'
+	// assumption; >1 = wear-out, <1 = infant mortality). Mean lifetimes
+	// stay 1/λ regardless of shape. Components are born fresh at t=0 and
+	// at every replenishment, so birth-time draws are exact.
+	NodeFailureShape, DriveFailureShape float64
+	// ShockRate and ShockSize model correlated failures the paper's
+	// independence assumption excludes: shocks arrive as a Poisson
+	// process of rate ShockRate per hour and instantly fail ShockSize
+	// uniformly chosen live nodes (a shared power feed, a rack event).
+	// Zero disables shocks.
+	ShockRate float64
+	ShockSize int
+}
+
+// ScenarioFromConfig derives a simulation scenario from the analytic
+// parameter set and a redundancy configuration, using the same rebuild-rate
+// model the analysis uses.
+func ScenarioFromConfig(p params.Parameters, cfg core.Config, repair RepairDistribution) (Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	rates := rebuild.Compute(p, cfg.NodeFaultTolerance)
+	return Scenario{
+		N:            p.NodeSetSize,
+		R:            p.RedundancySetSize,
+		D:            p.DrivesPerNode,
+		T:            cfg.NodeFaultTolerance,
+		ParityDrives: cfg.Internal.ParityDrives(),
+		LambdaN:      p.NodeFailureRate(),
+		LambdaD:      p.DriveFailureRate(),
+		MuN:          rates.NodeRebuild,
+		MuD:          rates.DriveRebuild,
+		MuRestripe:   rates.Restripe,
+		CHER:         p.CHER(),
+		Repair:       repair,
+	}, nil
+}
+
+// Validate reports the first problem with the scenario.
+func (sc Scenario) Validate() error {
+	switch {
+	case sc.N < 2 || sc.D < 1:
+		return fmt.Errorf("sim: invalid geometry N=%d D=%d", sc.N, sc.D)
+	case sc.R < 2 || sc.R > sc.N:
+		return fmt.Errorf("sim: redundancy set size %d invalid for N=%d", sc.R, sc.N)
+	case sc.T < 1 || sc.T >= sc.R:
+		return fmt.Errorf("sim: fault tolerance %d invalid for R=%d", sc.T, sc.R)
+	case sc.ParityDrives < 0 || sc.ParityDrives > 2:
+		return fmt.Errorf("sim: parity drives %d out of range", sc.ParityDrives)
+	case sc.ParityDrives >= sc.D && sc.ParityDrives > 0:
+		return fmt.Errorf("sim: %d drives cannot form RAID with %d parity", sc.D, sc.ParityDrives)
+	case sc.LambdaN <= 0 || sc.LambdaD <= 0 || sc.MuN <= 0 || sc.MuD <= 0:
+		return fmt.Errorf("sim: rates must be positive")
+	case sc.ParityDrives > 0 && sc.MuRestripe <= 0:
+		return fmt.Errorf("sim: restripe rate must be positive with internal RAID")
+	case sc.Repair != RepairExponential && sc.Repair != RepairDeterministic:
+		return fmt.Errorf("sim: unknown repair distribution %d", sc.Repair)
+	case sc.CHER < 0:
+		return fmt.Errorf("sim: negative CHER")
+	case sc.NodeFailureShape < 0 || sc.DriveFailureShape < 0:
+		return fmt.Errorf("sim: negative Weibull shape")
+	case sc.NodeFailureShape > 0 && sc.NodeFailureShape < 0.2,
+		sc.DriveFailureShape > 0 && sc.DriveFailureShape < 0.2:
+		return fmt.Errorf("sim: Weibull shape below 0.2 is numerically pathological")
+	case sc.ShockRate < 0:
+		return fmt.Errorf("sim: negative shock rate")
+	case sc.ShockRate > 0 && (sc.ShockSize < 1 || sc.ShockSize > sc.N):
+		return fmt.Errorf("sim: shock size %d out of [1, N]", sc.ShockSize)
+	}
+	return nil
+}
+
+// failureRef is one outstanding failure, in arrival order.
+type failureRef struct {
+	isNode bool
+	node   int
+	drive  int // meaningful when !isNode
+}
+
+// desNode is a node's live state.
+type desNode struct {
+	up      bool
+	seq     uint64 // validates pending node-failure events
+	drives  []desDrive
+	rebuild uint64 // validates the pending node-rebuild event
+
+	// Internal RAID state.
+	liveDrives int
+	degraded   int // failed drives awaiting restripe
+	restriping bool
+	restripe   uint64 // validates the pending restripe event
+}
+
+type desDrive struct {
+	up  bool
+	seq uint64
+}
+
+// des is one running trajectory.
+type des struct {
+	sc          Scenario
+	rng         *rand.Rand
+	q           eventQueue
+	now         float64
+	seq         uint64
+	nodes       []desNode
+	outstanding []failureRef
+	lost        bool
+	events      int
+}
+
+// LossResult describes one simulated run.
+type LossResult struct {
+	// Time is the simulated time to the data-loss event, in hours.
+	Time float64
+	// Events is the number of events processed.
+	Events int
+}
+
+// RunUntilLoss simulates one trajectory from a fresh system to its first
+// data-loss event. maxEvents bounds the run; exceeding it returns an error
+// (the scenario is too reliable for naive simulation — use the biased
+// estimator instead).
+func RunUntilLoss(sc Scenario, rng *rand.Rand, maxEvents int) (LossResult, error) {
+	if err := sc.Validate(); err != nil {
+		return LossResult{}, err
+	}
+	d := &des{sc: sc, rng: rng}
+	d.nodes = make([]desNode, sc.N)
+	for i := range d.nodes {
+		d.freshNode(i)
+	}
+	if sc.ShockRate > 0 {
+		d.q.schedule(event{at: d.exp(sc.ShockRate), kind: evShock})
+	}
+	for !d.lost {
+		if d.events >= maxEvents {
+			return LossResult{}, fmt.Errorf("sim: no data loss within %d events (t=%.3g h); use the biased estimator", maxEvents, d.now)
+		}
+		if d.q.Len() == 0 {
+			return LossResult{}, fmt.Errorf("sim: event queue drained unexpectedly")
+		}
+		e := d.q.next()
+		d.now = e.at
+		d.events++
+		d.dispatch(e)
+	}
+	return LossResult{Time: d.now, Events: d.events}, nil
+}
+
+// freshNode (re)initializes node i as a brand-new spare and schedules its
+// failure processes. Replenishment keeps the population constant, matching
+// the models' fixed N and the paper's spare-node provisioning.
+func (d *des) freshNode(i int) {
+	n := &d.nodes[i]
+	n.up = true
+	n.seq++
+	n.restriping = false
+	n.degraded = 0
+	n.liveDrives = d.sc.D
+	if n.drives == nil {
+		n.drives = make([]desDrive, d.sc.D)
+	}
+	d.scheduleNodeFailure(i)
+	for j := range n.drives {
+		n.drives[j].up = true
+		n.drives[j].seq++
+		d.scheduleDriveFailure(i, j)
+	}
+}
+
+func (d *des) exp(rate float64) float64 { return d.rng.ExpFloat64() / rate }
+
+func (d *des) repairTime(rate float64) float64 {
+	if d.sc.Repair == RepairDeterministic {
+		return 1 / rate
+	}
+	return d.exp(rate)
+}
+
+// lifetime draws a component time-to-failure with mean 1/rate: exponential
+// for shape 0 or 1, Weibull otherwise (scale chosen so the mean is 1/rate).
+func (d *des) lifetime(rate, shape float64) float64 {
+	return dist.Lifetime{Mean: 1 / rate, Shape: shape}.Sample(d.rng)
+}
+
+func (d *des) scheduleNodeFailure(i int) {
+	ttf := d.lifetime(d.sc.LambdaN, d.sc.NodeFailureShape)
+	d.q.schedule(event{at: d.now + ttf, kind: evNodeFail, node: i, seq: d.nodes[i].seq})
+}
+
+func (d *des) scheduleDriveFailure(i, j int) {
+	ttf := d.lifetime(d.sc.LambdaD, d.sc.DriveFailureShape)
+	d.q.schedule(event{at: d.now + ttf, kind: evDriveFail, node: i, drive: j, seq: d.nodes[i].drives[j].seq})
+}
+
+// affectedNodes counts distinct nodes with outstanding failures — the
+// maximum number of erasures any single redundancy set can currently have
+// (each set holds at most one element per node).
+func (d *des) affectedNodes() int {
+	seen := make(map[int]bool, len(d.outstanding))
+	for _, f := range d.outstanding {
+		seen[f.node] = true
+	}
+	return len(seen)
+}
+
+// failureWord renders the outstanding failures (arrival order) as the
+// h-subscript word of Section 5.2.2.
+func (d *des) failureWord() combinat.Word {
+	w := make(combinat.Word, len(d.outstanding))
+	for i, f := range d.outstanding {
+		if f.isNode {
+			w[i] = combinat.NodeFailure
+		} else {
+			w[i] = combinat.DriveFailure
+		}
+	}
+	return w
+}
+
+// dispatch applies one event if it is still valid.
+func (d *des) dispatch(e event) {
+	n := &d.nodes[e.node]
+	switch e.kind {
+	case evNodeFail:
+		if !n.up || e.seq != n.seq {
+			return
+		}
+		d.nodeLevelFailure(e.node)
+	case evDriveFail:
+		if !n.up || e.seq != n.drives[e.drive].seq || !n.drives[e.drive].up {
+			return
+		}
+		if d.sc.ParityDrives > 0 {
+			d.internalDriveFailure(e.node, e.drive)
+		} else {
+			d.nirDriveFailure(e.node, e.drive)
+		}
+	case evNodeRebuildDone:
+		if e.seq != n.rebuild || n.up {
+			return
+		}
+		d.removeOutstanding(func(f failureRef) bool { return f.isNode && f.node == e.node })
+		d.freshNode(e.node)
+	case evDriveRebuildDone:
+		if !n.up || e.seq != n.drives[e.drive].seq || n.drives[e.drive].up {
+			return
+		}
+		d.removeOutstanding(func(f failureRef) bool { return !f.isNode && f.node == e.node && f.drive == e.drive })
+		// Replenished spare capacity behaves like a fresh drive.
+		n.drives[e.drive].up = true
+		n.drives[e.drive].seq++
+		d.scheduleDriveFailure(e.node, e.drive)
+	case evRestripeDone:
+		if !n.up || !n.restriping || e.seq != n.restripe {
+			return
+		}
+		d.restripeDone(e.node)
+	case evShock:
+		d.shock()
+		if !d.lost {
+			d.q.schedule(event{at: d.now + d.exp(d.sc.ShockRate), kind: evShock})
+		}
+	}
+}
+
+// shock fails ShockSize uniformly chosen live nodes at once — a correlated
+// failure outside the models' independence assumption.
+func (d *des) shock() {
+	live := make([]int, 0, len(d.nodes))
+	for i := range d.nodes {
+		if d.nodes[i].up {
+			live = append(live, i)
+		}
+	}
+	d.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	for i := 0; i < d.sc.ShockSize && i < len(live) && !d.lost; i++ {
+		d.nodeLevelFailure(live[i])
+	}
+}
+
+// nodeLevelFailure handles a whole-node (or internal-array) failure.
+func (d *des) nodeLevelFailure(i int) {
+	n := &d.nodes[i]
+	n.up = false
+	n.seq++
+	n.restriping = false
+	// Invalidate drive events and drop subsumed drive failures: the node
+	// rebuild regenerates everything the node held.
+	for j := range n.drives {
+		n.drives[j].seq++
+	}
+	d.removeOutstanding(func(f failureRef) bool { return !f.isNode && f.node == i })
+	d.outstanding = append(d.outstanding, failureRef{isNode: true, node: i})
+	d.checkCriticalArrival()
+	if d.lost {
+		return
+	}
+	n.rebuild++
+	d.q.schedule(event{at: d.now + d.repairTime(d.sc.MuN), kind: evNodeRebuildDone, node: i, seq: n.rebuild})
+}
+
+// nirDriveFailure handles a drive failure when drives directly carry the
+// inter-node code.
+func (d *des) nirDriveFailure(i, j int) {
+	n := &d.nodes[i]
+	n.drives[j].up = false
+	n.drives[j].seq++
+	d.outstanding = append(d.outstanding, failureRef{isNode: false, node: i, drive: j})
+	d.checkCriticalArrival()
+	if d.lost {
+		return
+	}
+	d.q.schedule(event{at: d.now + d.repairTime(d.sc.MuD), kind: evDriveRebuildDone, node: i, drive: j, seq: n.drives[j].seq})
+}
+
+// checkCriticalArrival applies the data-loss rules after a new failure:
+// more distinct affected nodes than the fault tolerance loses data
+// outright; arriving exactly at the tolerance makes the triggered rebuild
+// critical, losing data with the Section 5.2.2 uncorrectable-error
+// probability h_α. The h draw applies only without internal RAID: an
+// internal array corrects uncorrectable read errors on its own drives, so
+// IR node rebuilds are exposed only through the restripe λ_S path
+// (exactly as in the paper's Figures 5–7, which carry no h terms).
+func (d *des) checkCriticalArrival() {
+	affected := d.affectedNodes()
+	if affected > d.sc.T {
+		d.lost = true
+		return
+	}
+	if d.sc.ParityDrives > 0 {
+		return
+	}
+	if affected == d.sc.T && d.sc.CHER > 0 && len(d.outstanding) == d.sc.T {
+		h := combinat.H(d.sc.N, d.sc.R, d.sc.D, d.sc.CHER, d.failureWord())
+		if h > 1 {
+			h = 1
+		}
+		if d.rng.Float64() < h {
+			d.lost = true
+		}
+	}
+}
+
+// internalDriveFailure handles a drive failure inside a RAID-protected
+// node.
+func (d *des) internalDriveFailure(i, j int) {
+	n := &d.nodes[i]
+	n.drives[j].up = false
+	n.drives[j].seq++
+	n.degraded++
+	if n.degraded > d.sc.ParityDrives {
+		// Beyond the array's tolerance: the whole node's data is gone.
+		d.nodeLevelFailure(i)
+		return
+	}
+	if !n.restriping {
+		n.restriping = true
+		n.restripe++
+		d.q.schedule(event{at: d.now + d.repairTime(d.sc.MuRestripe), kind: evRestripeDone, node: i, seq: n.restripe})
+	}
+}
+
+// restripeDone completes an internal restripe: the failed drives leave the
+// array and redundancy is restored. Reading the surviving data may hit an
+// uncorrectable error; if the inter-node redundancy is critical at that
+// moment, the error falls in a critical redundancy set with probability
+// k_t and loses data (Section 5.2.1). Like the analytic models (constant
+// d), the spare over-provisioning absorbs the capacity loss: the array
+// returns to full strength.
+func (d *des) restripeDone(i int) {
+	n := &d.nodes[i]
+	read := n.liveDrives - n.degraded
+	// An uncorrectable read error only matters when the restripe had no
+	// parity margin left (degraded == m): with RAID 6 a single-failure
+	// restripe corrects UEs through the second parity, exactly as the
+	// Figure 4 chain charges h only on the two-failures rebuild.
+	critical := n.degraded == d.sc.ParityDrives
+	n.degraded = 0
+	n.restriping = false
+	if critical && d.sc.CHER > 0 && d.affectedNodes() == d.sc.T {
+		h := float64(read) * d.sc.CHER
+		if h > 1 {
+			h = 1
+		}
+		if d.rng.Float64() < h {
+			kt := combinat.CriticalFraction(d.sc.N, d.sc.R, d.sc.T)
+			if d.rng.Float64() < kt {
+				d.lost = true
+				return
+			}
+		}
+	}
+	// Replenish: failed drives' data now lives on spare capacity that is
+	// itself subject to drive failures, so the at-risk population stays d.
+	for j := range n.drives {
+		if !n.drives[j].up {
+			n.drives[j].up = true
+			n.drives[j].seq++
+			d.scheduleDriveFailure(i, j)
+		}
+	}
+	n.liveDrives = d.sc.D
+}
+
+// removeOutstanding deletes matching entries, preserving order.
+func (d *des) removeOutstanding(match func(failureRef) bool) {
+	out := d.outstanding[:0]
+	for _, f := range d.outstanding {
+		if !match(f) {
+			out = append(out, f)
+		}
+	}
+	d.outstanding = out
+}
+
+// Estimate summarizes repeated RunUntilLoss trials.
+type Estimate struct {
+	Trials    int
+	MeanHours float64
+	StdErr    float64
+	MeanEvts  float64
+}
+
+// RelHalfWidth95 returns the 95% confidence half-width relative to the
+// mean, or +Inf for a zero mean.
+func (e Estimate) RelHalfWidth95() float64 {
+	if e.MeanHours == 0 {
+		return math.Inf(1)
+	}
+	return 1.96 * e.StdErr / e.MeanHours
+}
+
+// EstimateMTTDL runs independent trajectories and aggregates the observed
+// times to data loss.
+func EstimateMTTDL(sc Scenario, rng *rand.Rand, trials, maxEventsPerTrial int) (Estimate, error) {
+	if trials < 2 {
+		return Estimate{}, fmt.Errorf("sim: need at least 2 trials, got %d", trials)
+	}
+	var sum, sumSq, evts float64
+	for i := 0; i < trials; i++ {
+		r, err := RunUntilLoss(sc, rng, maxEventsPerTrial)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("trial %d: %w", i, err)
+		}
+		sum += r.Time
+		sumSq += r.Time * r.Time
+		evts += float64(r.Events)
+	}
+	mean := sum / float64(trials)
+	variance := (sumSq - sum*mean) / float64(trials-1)
+	if variance < 0 {
+		variance = 0
+	}
+	return Estimate{
+		Trials:    trials,
+		MeanHours: mean,
+		StdErr:    math.Sqrt(variance / float64(trials)),
+		MeanEvts:  evts / float64(trials),
+	}, nil
+}

@@ -1,0 +1,58 @@
+// Package sim validates the analytic models by stochastic simulation, two
+// ways:
+//
+//   - a discrete-event simulator of the full system (nodes, drives,
+//     concurrent rebuilds, restripes, uncorrectable errors, fail-in-place
+//     with spare replenishment) whose dynamics are *not* the Markov chain's
+//     — repairs proceed concurrently rather than last-in-first-out — so
+//     agreement with the chain quantifies the paper's modelling
+//     simplifications;
+//   - a regenerative rare-event estimator with balanced failure biasing
+//     over any absorbing markov.Chain, for MTTDL regimes far beyond what
+//     naive simulation can reach.
+package sim
+
+import "container/heap"
+
+// eventKind enumerates simulator events.
+type eventKind int
+
+const (
+	evNodeFail eventKind = iota + 1
+	evDriveFail
+	evNodeRebuildDone
+	evDriveRebuildDone
+	evRestripeDone
+	evShock
+)
+
+// event is one scheduled occurrence. The node/drive fields identify the
+// target component; seq disambiguates stale events after state changes.
+type event struct {
+	at    float64
+	kind  eventKind
+	node  int
+	drive int
+	seq   uint64
+}
+
+// eventQueue is a min-heap on event time.
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// schedule pushes an event.
+func (q *eventQueue) schedule(e event) { heap.Push(q, e) }
+
+// next pops the earliest event.
+func (q *eventQueue) next() event { return heap.Pop(q).(event) }

@@ -1,0 +1,117 @@
+// Package spares models the paper's fail-in-place provisioning (Section
+// 3): nodes are never serviced, so raw capacity only shrinks, and the
+// initial over-provisioning (the paper's 75% capacity utilization) must
+// absorb the attrition until the mission ends or spare nodes are added.
+//
+// With node failure rate λ_N and drive failure rate λ_d, a drive's
+// capacity survives to time T iff both the drive and its node survive, so
+// the expected surviving raw-capacity fraction is
+//
+//	S(T) = e^{-(λ_N+λ_d)·T},
+//
+// the stored data is constant, and the utilization of the surviving
+// capacity grows as u(T) = u₀ / S(T).
+package spares
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/params"
+)
+
+// attritionRate returns λ_N + λ_d, the per-hour decay rate of a unit of
+// raw capacity.
+func attritionRate(p params.Parameters) float64 {
+	return p.NodeFailureRate() + p.DriveFailureRate()
+}
+
+// SurvivingCapacityFraction returns the expected fraction of the initial
+// raw capacity still usable after the given number of hours.
+func SurvivingCapacityFraction(p params.Parameters, hours float64) float64 {
+	return math.Exp(-attritionRate(p) * hours)
+}
+
+// ExpectedNodeFailures returns the expected number of whole-node failures
+// within the given horizon (no replacement).
+func ExpectedNodeFailures(p params.Parameters, hours float64) float64 {
+	return float64(p.NodeSetSize) * (1 - math.Exp(-p.NodeFailureRate()*hours))
+}
+
+// ExpectedDriveFailures returns the expected number of individual drive
+// failures on still-live nodes within the horizon (drives lost inside an
+// already-failed node are attributed to the node failure).
+func ExpectedDriveFailures(p params.Parameters, hours float64) float64 {
+	lambdaN, lambdaD := p.NodeFailureRate(), p.DriveFailureRate()
+	total := float64(p.NodeSetSize * p.DrivesPerNode)
+	// ∫₀ᵀ λ_d e^{-λ_d t} e^{-λ_N t} dt per drive.
+	return total * lambdaD / (lambdaN + lambdaD) * (1 - math.Exp(-(lambdaN+lambdaD)*hours))
+}
+
+// Utilization returns the expected utilization of the surviving raw
+// capacity after the given hours, starting from the initial utilization of
+// the parameter set. Values above 1 mean the stored data no longer fits.
+func Utilization(p params.Parameters, hours float64) float64 {
+	return p.CapacityUtilization / SurvivingCapacityFraction(p, hours)
+}
+
+// TimeToUtilization returns the hours until utilization reaches the given
+// threshold — the paper's "add spare nodes when utilization crosses a
+// predetermined threshold" trigger. It returns +Inf if the threshold is
+// below the initial utilization... conversely, 0 if already reached, and
+// an error for thresholds outside (0, 1].
+func TimeToUtilization(p params.Parameters, threshold float64) (float64, error) {
+	if threshold <= 0 || threshold > 1 {
+		return 0, fmt.Errorf("spares: threshold %v out of (0, 1]", threshold)
+	}
+	if threshold <= p.CapacityUtilization {
+		return 0, nil
+	}
+	return math.Log(threshold/p.CapacityUtilization) / attritionRate(p), nil
+}
+
+// RequiredInitialUtilization returns the largest initial utilization u₀
+// such that after missionHours of fail-in-place attrition the surviving
+// capacity still holds the data at or below maxUtilization. This is the
+// quantitative version of the paper's over-provisioning guidance.
+func RequiredInitialUtilization(p params.Parameters, missionHours, maxUtilization float64) (float64, error) {
+	if maxUtilization <= 0 || maxUtilization > 1 {
+		return 0, fmt.Errorf("spares: max utilization %v out of (0, 1]", maxUtilization)
+	}
+	if missionHours < 0 {
+		return 0, fmt.Errorf("spares: negative mission %v", missionHours)
+	}
+	return maxUtilization * SurvivingCapacityFraction(p, missionHours), nil
+}
+
+// Point is one step of a capacity trajectory.
+type Point struct {
+	Hours             float64
+	SurvivingFraction float64
+	Utilization       float64
+	NodeFailures      float64
+	DriveFailures     float64
+}
+
+// Trajectory tabulates the expected attrition over a mission in equal
+// steps (steps >= 1; the first point is t=0).
+func Trajectory(p params.Parameters, missionHours float64, steps int) ([]Point, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("spares: steps %d must be >= 1", steps)
+	}
+	if missionHours <= 0 {
+		return nil, fmt.Errorf("spares: mission %v must be positive", missionHours)
+	}
+	out := make([]Point, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		h := missionHours * float64(i) / float64(steps)
+		out = append(out, Point{
+			Hours:             h,
+			SurvivingFraction: SurvivingCapacityFraction(p, h),
+			Utilization:       Utilization(p, h),
+			NodeFailures:      ExpectedNodeFailures(p, h),
+			DriveFailures:     ExpectedDriveFailures(p, h),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package spares
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestSurvivingCapacityFraction(t *testing.T) {
+	p := params.Baseline()
+	if got := SurvivingCapacityFraction(p, 0); got != 1 {
+		t.Errorf("S(0) = %v, want 1", got)
+	}
+	// λ_N + λ_d = 2.5e-6 + 3.33e-6 ≈ 5.83e-6; 5 years ≈ 43830 h.
+	want := math.Exp(-(2.5e-6 + 1.0/3e5) * 43830)
+	if got := SurvivingCapacityFraction(p, 43830); math.Abs(got-want) > 1e-12 {
+		t.Errorf("S(5y) = %v, want %v", got, want)
+	}
+	if got := SurvivingCapacityFraction(p, 43830); got < 0.7 || got > 0.85 {
+		t.Errorf("S(5y) = %v, expected ≈0.77 at baseline", got)
+	}
+}
+
+func TestExpectedFailuresShortHorizonLinear(t *testing.T) {
+	p := params.Baseline()
+	h := 100.0
+	// For λT ≪ 1, expectations are ≈ N·λ_N·T and N·d·λ_d·T.
+	wantNodes := 64 * 2.5e-6 * h
+	if got := ExpectedNodeFailures(p, h); math.Abs(got-wantNodes)/wantNodes > 1e-3 {
+		t.Errorf("node failures = %v, want ≈%v", got, wantNodes)
+	}
+	wantDrives := 64 * 12 / 3e5 * h
+	if got := ExpectedDriveFailures(p, h); math.Abs(got-wantDrives)/wantDrives > 1e-3 {
+		t.Errorf("drive failures = %v, want ≈%v", got, wantDrives)
+	}
+}
+
+func TestExpectedFailuresLongHorizonSaturate(t *testing.T) {
+	p := params.Baseline()
+	horizon := 1e8 // effectively forever
+	if got := ExpectedNodeFailures(p, horizon); math.Abs(got-64) > 1e-6 {
+		t.Errorf("node failures saturate at %v, want 64", got)
+	}
+	// Every drive eventually dies of either cause; the drive-attributed
+	// share is λ_d/(λ_N+λ_d).
+	want := 64 * 12 * (1.0 / 3e5) / (2.5e-6 + 1.0/3e5)
+	if got := ExpectedDriveFailures(p, horizon); math.Abs(got-want) > 1e-6 {
+		t.Errorf("drive failures saturate at %v, want %v", got, want)
+	}
+}
+
+// Monte Carlo cross-check of the attrition formulas.
+func TestExpectedFailuresMatchMonteCarlo(t *testing.T) {
+	p := params.Baseline()
+	p.NodeSetSize = 40
+	p.DrivesPerNode = 6
+	horizon := 200_000.0 // long enough that saturation effects matter
+	rng := rand.New(rand.NewSource(41))
+	const trials = 3000
+	var nodeSum, driveSum, capSum float64
+	for trial := 0; trial < trials; trial++ {
+		for n := 0; n < p.NodeSetSize; n++ {
+			nodeDeath := rng.ExpFloat64() * p.NodeMTTFHours
+			if nodeDeath < horizon {
+				nodeSum++
+			}
+			for d := 0; d < p.DrivesPerNode; d++ {
+				driveDeath := rng.ExpFloat64() * p.DriveMTTFHours
+				if driveDeath < horizon && driveDeath < nodeDeath {
+					driveSum++
+				}
+				if driveDeath > horizon && nodeDeath > horizon {
+					capSum++
+				}
+			}
+		}
+	}
+	gotNodes := nodeSum / trials
+	gotDrives := driveSum / trials
+	gotCap := capSum / trials / float64(p.NodeSetSize*p.DrivesPerNode)
+	if want := ExpectedNodeFailures(p, horizon); math.Abs(gotNodes-want)/want > 0.03 {
+		t.Errorf("MC node failures %v vs formula %v", gotNodes, want)
+	}
+	if want := ExpectedDriveFailures(p, horizon); math.Abs(gotDrives-want)/want > 0.03 {
+		t.Errorf("MC drive failures %v vs formula %v", gotDrives, want)
+	}
+	if want := SurvivingCapacityFraction(p, horizon); math.Abs(gotCap-want)/want > 0.03 {
+		t.Errorf("MC surviving capacity %v vs formula %v", gotCap, want)
+	}
+}
+
+func TestUtilizationGrowth(t *testing.T) {
+	p := params.Baseline()
+	if got := Utilization(p, 0); got != p.CapacityUtilization {
+		t.Errorf("u(0) = %v", got)
+	}
+	prev := 0.0
+	for _, h := range []float64{0, 10_000, 50_000, 100_000} {
+		u := Utilization(p, h)
+		if u <= prev {
+			t.Errorf("utilization not increasing at %v h", h)
+		}
+		prev = u
+	}
+}
+
+func TestTimeToUtilization(t *testing.T) {
+	p := params.Baseline() // u0 = 0.75
+	h, err := TimeToUtilization(p, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossing 0.9 from 0.75 with rate 5.83e-6: ln(1.2)/5.83e-6 ≈ 31264 h.
+	if h < 25_000 || h > 40_000 {
+		t.Errorf("time to 90%% = %v h, want ≈31000", h)
+	}
+	// The formulas must be mutually consistent.
+	if got := Utilization(p, h); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("u(TimeToUtilization(0.9)) = %v", got)
+	}
+	if h0, err := TimeToUtilization(p, 0.5); err != nil || h0 != 0 {
+		t.Errorf("already-reached threshold: %v, %v", h0, err)
+	}
+	for _, bad := range []float64{0, -1, 1.5} {
+		if _, err := TimeToUtilization(p, bad); err == nil {
+			t.Errorf("threshold %v accepted", bad)
+		}
+	}
+}
+
+// The paper's 75% baseline utilization corresponds to a ~5-year
+// fail-in-place mission at high max utilization — make that connection
+// explicit.
+func TestRequiredInitialUtilizationFiveYearMission(t *testing.T) {
+	p := params.Baseline()
+	fiveYears := 5 * params.HoursPerYear
+	u0, err := RequiredInitialUtilization(p, fiveYears, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u0 < 0.70 || u0 > 0.80 {
+		t.Errorf("required u0 for a 5-year mission = %v, want ≈0.75 (the paper's baseline)", u0)
+	}
+	// Round trip: starting at u0, utilization at mission end is maxU.
+	p.CapacityUtilization = u0
+	if got := Utilization(p, fiveYears); math.Abs(got-0.97) > 1e-9 {
+		t.Errorf("end-of-mission utilization = %v, want 0.97", got)
+	}
+}
+
+func TestRequiredInitialUtilizationValidation(t *testing.T) {
+	p := params.Baseline()
+	if _, err := RequiredInitialUtilization(p, -1, 0.9); err == nil {
+		t.Error("negative mission accepted")
+	}
+	for _, bad := range []float64{0, 1.2} {
+		if _, err := RequiredInitialUtilization(p, 1000, bad); err == nil {
+			t.Errorf("max utilization %v accepted", bad)
+		}
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	p := params.Baseline()
+	pts, err := Trajectory(p, 43830, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	if pts[0].Hours != 0 || pts[0].SurvivingFraction != 1 {
+		t.Errorf("first point: %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SurvivingFraction >= pts[i-1].SurvivingFraction {
+			t.Error("surviving fraction not decreasing")
+		}
+		if pts[i].Utilization <= pts[i-1].Utilization {
+			t.Error("utilization not increasing")
+		}
+		if pts[i].NodeFailures <= pts[i-1].NodeFailures {
+			t.Error("node failures not increasing")
+		}
+	}
+	if _, err := Trajectory(p, 100, 0); err == nil {
+		t.Error("steps=0 accepted")
+	}
+	if _, err := Trajectory(p, 0, 5); err == nil {
+		t.Error("zero mission accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The System promises concurrent safety: hammer it from several goroutines
+// mixing writes, reads, failures, rebuilds and scrubs. Run with -race.
+func TestConcurrentOperations(t *testing.T) {
+	s := newTestSystem(t)
+	// Preload some objects so readers have work immediately.
+	payload := bytes.Repeat([]byte("seed"), 512)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("seed-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	const workers = 8
+	errs := make(chan error, workers*100)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 40; i++ {
+				switch w % 4 {
+				case 0: // writer
+					id := fmt.Sprintf("w%d-%d", w, i)
+					if err := s.Put(id, payload); err != nil {
+						errs <- fmt.Errorf("put %s: %w", id, err)
+						return
+					}
+				case 1: // reader
+					id := fmt.Sprintf("seed-%d", rng.Intn(10))
+					got, err := s.Get(id)
+					if err != nil {
+						errs <- fmt.Errorf("get %s: %w", id, err)
+						return
+					}
+					if !bytes.Equal(got, payload) {
+						errs <- fmt.Errorf("get %s: corrupt", id)
+						return
+					}
+				case 2: // maintenance
+					if _, err := s.Rebuild(); err != nil {
+						errs <- fmt.Errorf("rebuild: %w", err)
+						return
+					}
+					if _, err := s.Scrub(); err != nil {
+						errs <- fmt.Errorf("scrub: %w", err)
+						return
+					}
+				case 3: // observer
+					_ = s.Stats()
+					_ = s.LostObjects()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if bad := s.CheckAll(); len(bad) != 0 {
+		t.Errorf("unreadable objects after concurrent workload: %v", bad)
+	}
+}

@@ -1,0 +1,111 @@
+package storage
+
+import "fmt"
+
+// Spare-node provisioning (Section 3): when fail-in-place attrition pushes
+// utilization past its threshold (see internal/spares), operators add
+// fresh nodes. AddNode grows the node set; Rebalance migrates shards onto
+// under-used capacity so data and spare space stay evenly distributed —
+// the precondition of the models' rebuild-rate accounting.
+
+// AddNode appends a fresh node with the configured drive count and
+// returns its index.
+func (s *System) AddNode() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes = append(s.nodes, node{drives: make([]drive, s.cfg.DrivesPerNode)})
+	s.cfg.Nodes = len(s.nodes)
+	return len(s.nodes) - 1
+}
+
+// RebalanceStats summarizes a rebalancing pass.
+type RebalanceStats struct {
+	// ShardsMoved counts migrated shards, BytesMoved their volume.
+	ShardsMoved int
+	BytesMoved  int64
+}
+
+// Rebalance migrates shards from the most-loaded drives to the
+// least-loaded eligible ones (live, with room, on a node not already
+// holding a shard of the same object), up to maxMoves moves or until the
+// loaded and spare ends are within one shard of each other.
+func (s *System) Rebalance(maxMoves int) (RebalanceStats, error) {
+	if maxMoves < 1 {
+		return RebalanceStats{}, fmt.Errorf("storage: maxMoves %d must be >= 1", maxMoves)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stats RebalanceStats
+	for move := 0; move < maxMoves; move++ {
+		if !s.rebalanceOnce(&stats) {
+			break
+		}
+	}
+	return stats, nil
+}
+
+// rebalanceOnce performs one shard migration, reporting whether it did.
+func (s *System) rebalanceOnce(stats *RebalanceStats) bool {
+	srcNode, srcDrive := s.extremeDrive(true)
+	if srcNode < 0 {
+		return false
+	}
+	// Find a shard on the source drive whose object tolerates a move.
+	for id, obj := range s.objects {
+		if s.lost[id] {
+			continue
+		}
+		for i, loc := range obj.locs {
+			if loc.node != srcNode || loc.drive != srcDrive {
+				continue
+			}
+			inSet := make(map[int]bool, len(obj.locs))
+			for _, l := range obj.locs {
+				inSet[l.node] = true
+			}
+			delete(inSet, srcNode) // the shard is leaving this node
+			target := s.findSpareNode(inSet, int64(obj.shardSize))
+			if target.node < 0 {
+				continue
+			}
+			// Only move if the target is materially less loaded.
+			srcUsed := s.nodes[srcNode].drives[srcDrive].used
+			dstUsed := s.nodes[target.node].drives[target.drive].used
+			if dstUsed+2*int64(obj.shardSize) > srcUsed {
+				continue
+			}
+			s.nodes[srcNode].drives[srcDrive].used -= int64(obj.shardSize)
+			s.nodes[target.node].drives[target.drive].used += int64(obj.shardSize)
+			obj.locs[i] = target
+			stats.ShardsMoved++
+			stats.BytesMoved += int64(obj.shardSize)
+			return true
+		}
+	}
+	return false
+}
+
+// extremeDrive returns the live drive with maximal (or minimal) usage.
+func (s *System) extremeDrive(max bool) (int, int) {
+	bestN, bestD := -1, -1
+	var bestUsed int64
+	for n := range s.nodes {
+		if s.nodes[n].failed {
+			continue
+		}
+		for d := range s.nodes[n].drives {
+			dr := &s.nodes[n].drives[d]
+			if dr.failed {
+				continue
+			}
+			better := dr.used > bestUsed
+			if !max {
+				better = dr.used < bestUsed
+			}
+			if bestN < 0 || better {
+				bestN, bestD, bestUsed = n, d, dr.used
+			}
+		}
+	}
+	return bestN, bestD
+}

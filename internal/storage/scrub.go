@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Latent-fault handling: every stored shard carries a checksum. Reads
+// treat checksum mismatches as erasures (recovered through the code), and
+// Scrub proactively sweeps all shards, repairing silent corruption while
+// redundancy is still available — the storage-layer counterpart of the
+// internal/scrub analytic model.
+
+// checksum hashes a shard.
+func checksum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// shardIntact reports whether shard i of obj is on live hardware AND its
+// content matches its stored checksum.
+func (s *System) shardIntact(obj *object, i int) bool {
+	return s.shardAlive(obj, i) && checksum(obj.shards[i]) == obj.sums[i]
+}
+
+// InjectLatentFault silently corrupts one byte of one stored shard on the
+// given drive, simulating a latent sector fault: no failure event is
+// raised and the corruption stays invisible until the shard is next read
+// or scrubbed. It returns the affected object ID, or "" if the drive holds
+// no shard.
+func (s *System) InjectLatentFault(n, d int) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 || n >= len(s.nodes) {
+		return "", fmt.Errorf("storage: node %d out of range", n)
+	}
+	if d < 0 || d >= len(s.nodes[n].drives) {
+		return "", fmt.Errorf("storage: drive %d out of range on node %d", d, n)
+	}
+	// Deterministic scan: corrupt the first shard found on that drive
+	// (map iteration order is randomized, so pick the lexicographically
+	// smallest ID for reproducibility).
+	var victim string
+	var victimShard int
+	for id, obj := range s.objects {
+		for i, loc := range obj.locs {
+			if loc.node == n && loc.drive == d && len(obj.shards[i]) > 0 {
+				if victim == "" || id < victim {
+					victim, victimShard = id, i
+				}
+				break
+			}
+		}
+	}
+	if victim == "" {
+		return "", nil
+	}
+	s.objects[victim].shards[victimShard][0] ^= 0xFF
+	return victim, nil
+}
+
+// ScrubStats summarizes one scrub pass.
+type ScrubStats struct {
+	// ShardsChecked counts shards whose checksums were verified.
+	ShardsChecked int
+	// FaultsRepaired counts corrupt shards rewritten from redundancy.
+	FaultsRepaired int
+	// ObjectsLost counts objects with more corrupt+missing shards than
+	// the code tolerates.
+	ObjectsLost int
+}
+
+// Scrub verifies every stored shard against its checksum and repairs
+// corrupt shards in place from the surviving redundancy. Objects that
+// have accumulated more corrupt-or-missing shards than the fault
+// tolerance are recorded as lost.
+func (s *System) Scrub() (ScrubStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stats ScrubStats
+	for id, obj := range s.objects {
+		if s.lost[id] {
+			continue
+		}
+		var bad []int
+		work := make([][]byte, len(obj.shards))
+		for i := range obj.shards {
+			if !s.shardAlive(obj, i) {
+				continue // hardware loss: Rebuild's job, not Scrub's
+			}
+			stats.ShardsChecked++
+			if checksum(obj.shards[i]) == obj.sums[i] {
+				work[i] = obj.shards[i]
+			} else {
+				bad = append(bad, i)
+			}
+		}
+		if len(bad) == 0 {
+			continue
+		}
+		present := 0
+		for i := range work {
+			if work[i] != nil {
+				present++
+			}
+		}
+		if present < s.code.DataShards() {
+			s.lost[id] = true
+			stats.ObjectsLost++
+			continue
+		}
+		if err := s.code.Reconstruct(work); err != nil {
+			return stats, fmt.Errorf("storage: scrubbing %q: %w", id, err)
+		}
+		for _, i := range bad {
+			obj.shards[i] = work[i]
+			stats.FaultsRepaired++
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestInjectLatentFaultDetectedOnRead(t *testing.T) {
+	s := newTestSystem(t)
+	data := bytes.Repeat([]byte("payload"), 1000)
+	if err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	loc := s.objects["obj"].locs[1]
+	victim, err := s.InjectLatentFault(loc.node, loc.drive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != "obj" {
+		t.Fatalf("victim = %q", victim)
+	}
+	// The read path must recover transparently through the code.
+	got, err := s.Get("obj")
+	if err != nil {
+		t.Fatalf("Get with latent fault: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("latent fault leaked corrupted data to a reader")
+	}
+}
+
+func TestInjectLatentFaultBounds(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.InjectLatentFault(-1, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := s.InjectLatentFault(0, 99); err == nil {
+		t.Error("bad drive accepted")
+	}
+	// Empty drive: no victim, no error.
+	victim, err := s.InjectLatentFault(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != "" {
+		t.Errorf("victim = %q on empty system", victim)
+	}
+}
+
+func TestScrubRepairsCorruption(t *testing.T) {
+	s := newTestSystem(t)
+	data := bytes.Repeat([]byte("x"), 8000)
+	if err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	loc := s.objects["obj"].locs[0]
+	if _, err := s.InjectLatentFault(loc.node, loc.drive); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultsRepaired != 1 {
+		t.Errorf("FaultsRepaired = %d, want 1", stats.FaultsRepaired)
+	}
+	if stats.ShardsChecked != 8 {
+		t.Errorf("ShardsChecked = %d, want 8", stats.ShardsChecked)
+	}
+	// After the scrub, the shard is intact again.
+	if !s.shardIntact(s.objects["obj"], 0) {
+		t.Error("shard still corrupt after scrub")
+	}
+	// And a clean pass repairs nothing.
+	stats2, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.FaultsRepaired != 0 || stats2.ObjectsLost != 0 {
+		t.Errorf("clean scrub: %+v", stats2)
+	}
+}
+
+// Scrubbing before further failures is exactly what keeps latent faults
+// from compounding with hardware loss — the mechanism behind the
+// internal/scrub model. Corrupt one shard, fail t nodes, and confirm the
+// scrubbed system survives while the unscrubbed one can lose the object.
+func TestScrubPreventsCompoundingLoss(t *testing.T) {
+	build := func() (*System, []byte, []int) {
+		s := newTestSystem(t)
+		data := bytes.Repeat([]byte("k"), 4000)
+		if err := s.Put("obj", data); err != nil {
+			t.Fatal(err)
+		}
+		obj := s.objects["obj"]
+		// Corrupt shard 0; plan to fail the nodes of shards 1 and 2.
+		if _, err := s.InjectLatentFault(obj.locs[0].node, obj.locs[0].drive); err != nil {
+			t.Fatal(err)
+		}
+		return s, data, []int{obj.locs[1].node, obj.locs[2].node}
+	}
+
+	// Without scrubbing: corrupt shard + 2 failed nodes = 3 erasures > t.
+	s1, _, nodes := build()
+	for _, n := range nodes {
+		if err := s1.FailNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s1.Get("obj"); err == nil {
+		t.Fatal("expected loss without scrubbing (3 effective erasures)")
+	}
+
+	// With a scrub between corruption and the failures: survives.
+	s2, data, nodes2 := build()
+	if _, err := s2.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes2 {
+		if err := s2.FailNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s2.Get("obj")
+	if err != nil {
+		t.Fatalf("scrubbed system lost the object: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("scrubbed system returned corrupt data")
+	}
+}
+
+func TestScrubRecordsLossWhenBeyondTolerance(t *testing.T) {
+	s := newTestSystem(t)
+	if err := s.Put("obj", bytes.Repeat([]byte("z"), 2000)); err != nil {
+		t.Fatal(err)
+	}
+	obj := s.objects["obj"]
+	// Corrupt 3 shards (> t = 2) directly.
+	for i := 0; i < 3; i++ {
+		obj.shards[i][0] ^= 0xFF
+	}
+	stats, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ObjectsLost != 1 {
+		t.Errorf("ObjectsLost = %d, want 1", stats.ObjectsLost)
+	}
+}
+
+func TestRebuildRelocatesCorruptShards(t *testing.T) {
+	// Rebuild treats checksum-failed shards as erasures and re-places
+	// them with correct content.
+	s := newTestSystem(t)
+	data := bytes.Repeat([]byte("q"), 5000)
+	if err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	obj := s.objects["obj"]
+	loc := obj.locs[4]
+	if _, err := s.InjectLatentFault(loc.node, loc.drive); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsRebuilt != 1 {
+		t.Errorf("ShardsRebuilt = %d, want 1", stats.ShardsRebuilt)
+	}
+	if !s.shardIntact(obj, 4) {
+		t.Error("shard not intact after rebuild")
+	}
+	got, err := s.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("Get after rebuild: %v", err)
+	}
+}
+
+func TestScrubManyObjectsMixedFaults(t *testing.T) {
+	s := newTestSystem(t)
+	rng := rand.New(rand.NewSource(8))
+	payloads := make(map[string][]byte)
+	for i := 0; i < 25; i++ {
+		id := fmt.Sprintf("o%02d", i)
+		data := make([]byte, 1000+rng.Intn(4000))
+		rng.Read(data)
+		payloads[id] = data
+		if err := s.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One latent fault on a distinct shard of each of ten objects (within
+	// every object's tolerance, so all must be repairable).
+	injected := 0
+	for i := 0; i < 10; i++ {
+		obj := s.objects[fmt.Sprintf("o%02d", i)]
+		obj.shards[i%8][0] ^= 0xFF
+		injected++
+	}
+	stats, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultsRepaired != injected {
+		t.Errorf("repaired %d of %d injected faults", stats.FaultsRepaired, injected)
+	}
+	for id, want := range payloads {
+		got, err := s.Get(id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("%s after scrub: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		Nodes:              16,
+		DrivesPerNode:      4,
+		RedundancySetSize:  8,
+		FaultTolerance:     2,
+		DriveCapacityBytes: 1 << 20,
+	}
+}
+
+func newTestSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.DrivesPerNode = 0 },
+		func(c *Config) { c.RedundancySetSize = 1 },
+		func(c *Config) { c.RedundancySetSize = 17 },
+		func(c *Config) { c.FaultTolerance = 0 },
+		func(c *Config) { c.FaultTolerance = 8 },
+		func(c *Config) { c.DriveCapacityBytes = 0 },
+	}
+	for i, mutate := range mutations {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newTestSystem(t)
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	if err := s.Put("obj1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("obj1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("Get = %q, want %q", got, data)
+	}
+}
+
+func TestPutDuplicate(t *testing.T) {
+	s := newTestSystem(t)
+	if err := s.Put("x", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("x", []byte("b")); err == nil {
+		t.Error("duplicate Put accepted")
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGetSurvivesUpToFaultToleranceNodeFailures(t *testing.T) {
+	s := newTestSystem(t)
+	data := make([]byte, 10_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	// Fail t nodes (some may not host shards of obj — fail the first t of
+	// its set for a deterministic worst case). We don't know the set, so
+	// fail nodes until Get degrades; it must survive any t failures that
+	// touch the set. Brute force: fail every pair of nodes.
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			s2 := newTestSystem(t)
+			if err := s2.Put("obj", data); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.FailNode(a); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.FailNode(b); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s2.Get("obj")
+			if err != nil {
+				t.Fatalf("Get after failing nodes %d,%d: %v", a, b, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("corrupted read after failing nodes %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestObjectLostBeyondFaultTolerance(t *testing.T) {
+	s := newTestSystem(t)
+	if err := s.Put("obj", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail every node except the last: definitely > t shards gone.
+	for n := 0; n < 15; n++ {
+		if err := s.FailNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Get("obj"); !errors.Is(err, ErrObjectLost) {
+		t.Errorf("err = %v, want ErrObjectLost", err)
+	}
+}
+
+func TestRebuildAfterNodeFailure(t *testing.T) {
+	s := newTestSystem(t)
+	rng := rand.New(rand.NewSource(2))
+	payloads := make(map[string][]byte)
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("obj-%d", i)
+		data := make([]byte, 500+rng.Intn(3000))
+		rng.Read(data)
+		payloads[id] = data
+		if err := s.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FailNode(3); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ObjectsLost != 0 {
+		t.Errorf("ObjectsLost = %d, want 0", stats.ObjectsLost)
+	}
+	if stats.ShardsRebuilt == 0 {
+		t.Error("no shards rebuilt though a node failed")
+	}
+	// Now fail two more nodes: redundancy was restored, so everything
+	// must still be readable.
+	if err := s.FailNode(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailNode(11); err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range payloads {
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("%s after rebuild + 2 failures: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s corrupted", id)
+		}
+	}
+}
+
+func TestRebuildPlacesOutsideCurrentSet(t *testing.T) {
+	s := newTestSystem(t)
+	if err := s.Put("obj", bytes.Repeat([]byte("z"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	obj := s.objects["obj"]
+	before := make(map[int]bool)
+	for _, loc := range obj.locs {
+		before[loc.node] = true
+	}
+	failed := obj.locs[0].node
+	if err := s.FailNode(failed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	newNode := obj.locs[0].node
+	if newNode == failed {
+		t.Error("rebuild left shard on the failed node")
+	}
+	if before[newNode] {
+		t.Errorf("rebuild placed shard on node %d already in the redundancy set", newNode)
+	}
+	// One shard per node invariant.
+	seen := make(map[int]bool)
+	for _, loc := range obj.locs {
+		if seen[loc.node] {
+			t.Fatalf("two shards on node %d", loc.node)
+		}
+		seen[loc.node] = true
+	}
+}
+
+func TestRebuildDriveFailure(t *testing.T) {
+	s := newTestSystem(t)
+	data := bytes.Repeat([]byte("abc"), 2000)
+	if err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	loc := s.objects["obj"].locs[2]
+	if err := s.FailDrive(loc.node, loc.drive); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsRebuilt != 1 {
+		t.Errorf("ShardsRebuilt = %d, want 1", stats.ShardsRebuilt)
+	}
+	got, err := s.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("Get after drive rebuild: %v", err)
+	}
+}
+
+func TestRebuildRecordsLoss(t *testing.T) {
+	s := newTestSystem(t)
+	if err := s.Put("obj", []byte("irreplaceable")); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 15; n++ {
+		if err := s.FailNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := s.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ObjectsLost != 1 {
+		t.Errorf("ObjectsLost = %d, want 1", stats.ObjectsLost)
+	}
+	if lost := s.LostObjects(); len(lost) != 1 || lost[0] != "obj" {
+		t.Errorf("LostObjects = %v", lost)
+	}
+	// A second rebuild must not double-count.
+	stats2, err := s.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.ObjectsLost != 0 {
+		t.Errorf("second pass ObjectsLost = %d, want 0", stats2.ObjectsLost)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newTestSystem(t)
+	st := s.Stats()
+	if st.LiveNodes != 16 || st.LiveDrives != 64 || st.UsedBytes != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+	if err := s.Put("a", make([]byte, 6000)); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	// 6000 bytes over 6 data shards → shardSize 1000 × 8 shards.
+	if st.UsedBytes != 8000 {
+		t.Errorf("UsedBytes = %d, want 8000", st.UsedBytes)
+	}
+	if err := s.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDrive(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.FailedNodes != 1 || st.LiveNodes != 15 {
+		t.Errorf("node accounting: %+v", st)
+	}
+	if st.FailedDrives != 1 || st.LiveDrives != 59 {
+		t.Errorf("drive accounting: %+v", st)
+	}
+}
+
+func TestCheckAllFindsNothingWhenHealthy(t *testing.T) {
+	s := newTestSystem(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("o%d", i), []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bad := s.CheckAll(); len(bad) != 0 {
+		t.Errorf("CheckAll = %v, want none", bad)
+	}
+}
+
+func TestEvenDistribution(t *testing.T) {
+	s := newTestSystem(t)
+	counts := make([]int, 16)
+	for i := 0; i < 400; i++ {
+		set := s.redundancySet(fmt.Sprintf("obj-%d", i))
+		if len(set) != 8 {
+			t.Fatalf("set size %d", len(set))
+		}
+		seen := make(map[int]bool)
+		for _, n := range set {
+			if seen[n] {
+				t.Fatalf("duplicate node %d in set", n)
+			}
+			seen[n] = true
+			counts[n]++
+		}
+	}
+	// 400 objects × 8 shards / 16 nodes = 200 expected per node. Allow
+	// ±40% — rendezvous hashing is not perfectly uniform at this scale,
+	// but gross skew would break the even-distribution assumption.
+	for n, c := range counts {
+		if c < 120 || c > 280 {
+			t.Errorf("node %d holds %d shards, want ≈200", n, c)
+		}
+	}
+}
+
+func TestFailBoundsChecks(t *testing.T) {
+	s := newTestSystem(t)
+	if err := s.FailNode(-1); err == nil {
+		t.Error("FailNode(-1) accepted")
+	}
+	if err := s.FailNode(16); err == nil {
+		t.Error("FailNode(16) accepted")
+	}
+	if err := s.FailDrive(0, 99); err == nil {
+		t.Error("FailDrive(0,99) accepted")
+	}
+	if err := s.FailDrive(99, 0); err == nil {
+		t.Error("FailDrive(99,0) accepted")
+	}
+}
+
+func TestNoSpareExhaustion(t *testing.T) {
+	cfg := testConfig()
+	cfg.DriveCapacityBytes = 1000
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each Put consumes shardSize per node; exhaust the chosen drives.
+	var lastErr error
+	for i := 0; i < 200 && lastErr == nil; i++ {
+		lastErr = s.Put(fmt.Sprintf("o%d", i), make([]byte, 5000))
+	}
+	if !errors.Is(lastErr, ErrNoSpare) {
+		t.Errorf("expected ErrNoSpare, got %v", lastErr)
+	}
+}
+
+func TestFailInPlaceSequence(t *testing.T) {
+	// A long failure/rebuild sequence: fail one component at a time with
+	// rebuilds between — nothing may be lost, matching the model's
+	// assumption that isolated failures with completed rebuilds never
+	// lose data.
+	s := newTestSystem(t)
+	rng := rand.New(rand.NewSource(9))
+	payloads := make(map[string][]byte)
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("obj-%d", i)
+		data := make([]byte, 1000+rng.Intn(2000))
+		rng.Read(data)
+		payloads[id] = data
+		if err := s.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail 4 nodes and 6 drives, one at a time.
+	for i := 0; i < 4; i++ {
+		if err := s.FailNode(i * 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		n := 13 + i%3
+		if err := s.FailDrive(n, i%4); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bad := s.CheckAll(); len(bad) != 0 {
+		t.Errorf("unreadable objects after fail-in-place sequence: %v", bad)
+	}
+	for id, want := range payloads {
+		got, err := s.Get(id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("%s corrupted after sequence (err=%v)", id, err)
+		}
+	}
+}

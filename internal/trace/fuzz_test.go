@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and
+// that anything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	tr, err := Generate(GenerateOptions{
+		Nodes: 4, DrivesPerNode: 2,
+		NodeMTTFHours: 1000, DriveMTTFHours: 1000,
+		LatentFaultsPerDriveHour: 1e-3,
+		HorizonHours:             5000,
+		Seed:                     1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("#geometry,4,2,100\n1,node,0,0\n")
+	f.Add("")
+	f.Add("#geometry,x,y,z\n")
+	f.Add("#geometry,4,2,100\n1,alien,0,0\n")
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		parsed, err := ReadCSV(strings.NewReader(doc))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		var out bytes.Buffer
+		if err := parsed.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again.Events) != len(parsed.Events) {
+			t.Fatalf("round trip changed event count: %d vs %d", len(again.Events), len(parsed.Events))
+		}
+	})
+}

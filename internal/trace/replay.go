@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Policy fixes the maintenance behaviour during a replay.
+type Policy struct {
+	// RebuildAfterEachFailure runs a full distributed rebuild after every
+	// node or drive failure, modelling rebuilds much faster than the
+	// failure inter-arrival times (the regime the paper's target
+	// configurations live in). When false, failures accumulate
+	// un-repaired for the whole mission.
+	RebuildAfterEachFailure bool
+	// RebuildWindowHours models a finite rebuild duration: outstanding
+	// failures are repaired only once the trace has been quiet for this
+	// long, so failures clustered within a window compound — the same
+	// mechanism that drives the Markov models' MTTDL. Ignored when
+	// RebuildAfterEachFailure is set.
+	RebuildWindowHours float64
+	// ScrubEveryHours runs a scrub pass at this cadence (0 = never).
+	ScrubEveryHours float64
+	// ReplenishNodes adds a fresh spare node after every node failure,
+	// keeping the live population constant — the analytic models'
+	// constant-N assumption and the paper's spare-provisioning practice.
+	ReplenishNodes bool
+}
+
+// Report summarizes a replay.
+type Report struct {
+	EventsApplied  int
+	Rebuilds       int
+	ShardsRebuilt  int
+	Scrubs         int
+	LatentRepaired int
+	// ObjectsLost is the number of objects unrecoverable at any point
+	// (recorded by rebuilds/scrubs plus a final check).
+	ObjectsLost int
+	// UnreadableAtEnd counts objects failing a final read-back.
+	UnreadableAtEnd int
+}
+
+// Replay applies the trace to the storage system in time order under the
+// given policy and reports what was lost. The system must match the
+// trace's geometry.
+func Replay(t *Trace, sys *storage.System, policy Policy) (Report, error) {
+	if err := t.Validate(); err != nil {
+		return Report{}, err
+	}
+	cfg := sys.Config()
+	if cfg.Nodes != t.Nodes || cfg.DrivesPerNode != t.DrivesPerNode {
+		return Report{}, fmt.Errorf("trace: system geometry %dx%d does not match trace %dx%d",
+			cfg.Nodes, cfg.DrivesPerNode, t.Nodes, t.DrivesPerNode)
+	}
+	var rep Report
+	nextScrub := policy.ScrubEveryHours
+	scrubDue := func(now float64) bool {
+		return policy.ScrubEveryHours > 0 && now >= nextScrub
+	}
+	// With replenishment, trace node indices are *slots*: each failure
+	// retires the slot's current physical node and a fresh one takes
+	// over. slotToPhys tracks the mapping.
+	slotToPhys := make([]int, t.Nodes)
+	for i := range slotToPhys {
+		slotToPhys[i] = i
+	}
+	lastFailure := 0.0
+	rebuild := func() error {
+		st, err := sys.Rebuild()
+		if err != nil {
+			return err
+		}
+		rep.Rebuilds++
+		rep.ShardsRebuilt += st.ShardsRebuilt
+		rep.ObjectsLost += st.ObjectsLost
+		return nil
+	}
+	for _, e := range t.Events {
+		if !policy.RebuildAfterEachFailure && policy.RebuildWindowHours > 0 &&
+			e.Hours-lastFailure >= policy.RebuildWindowHours {
+			if err := rebuild(); err != nil {
+				return rep, err
+			}
+		}
+		for scrubDue(e.Hours) {
+			st, err := sys.Scrub()
+			if err != nil {
+				return rep, err
+			}
+			rep.Scrubs++
+			rep.LatentRepaired += st.FaultsRepaired
+			rep.ObjectsLost += st.ObjectsLost
+			nextScrub += policy.ScrubEveryHours
+		}
+		phys := slotToPhys[e.Node]
+		switch e.Kind {
+		case EventNodeFailure:
+			if err := sys.FailNode(phys); err != nil {
+				return rep, err
+			}
+			if policy.ReplenishNodes {
+				slotToPhys[e.Node] = sys.AddNode()
+			}
+		case EventDriveFailure:
+			if err := sys.FailDrive(phys, e.Drive); err != nil {
+				return rep, err
+			}
+		case EventLatentFault:
+			if _, err := sys.InjectLatentFault(phys, e.Drive); err != nil {
+				return rep, err
+			}
+		}
+		rep.EventsApplied++
+		if e.Kind != EventLatentFault {
+			lastFailure = e.Hours
+			if policy.RebuildAfterEachFailure {
+				if err := rebuild(); err != nil {
+					return rep, err
+				}
+			}
+		}
+	}
+	if !policy.RebuildAfterEachFailure && policy.RebuildWindowHours > 0 &&
+		t.HorizonHours-lastFailure >= policy.RebuildWindowHours {
+		if err := rebuild(); err != nil {
+			return rep, err
+		}
+	}
+	rep.UnreadableAtEnd = len(sys.CheckAll())
+	return rep, nil
+}

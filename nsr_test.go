@@ -1,0 +1,60 @@
+package nsr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	p := Baseline()
+	r, err := Analyze(p, Config{Internal: InternalRAID5, NodeFaultTolerance: 2}, MethodClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !PaperTarget().Meets(r) {
+		t.Errorf("FT2+RAID5 should meet the paper target, got %.3g events/PB-yr", r.EventsPerPBYear)
+	}
+}
+
+func TestFacadeConfigSets(t *testing.T) {
+	if len(BaselineConfigs()) != 9 {
+		t.Errorf("BaselineConfigs = %d, want 9", len(BaselineConfigs()))
+	}
+	if len(SensitivityConfigs()) != 3 {
+		t.Errorf("SensitivityConfigs = %d, want 3", len(SensitivityConfigs()))
+	}
+}
+
+func TestFacadeAnalyzeAllAndFigures(t *testing.T) {
+	p := Baseline()
+	results, err := AnalyzeAll(p, SensitivityConfigs(), MethodClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	tables, err := AllFigures(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 11 {
+		t.Errorf("AllFigures = %d tables, want 11", len(tables))
+	}
+}
+
+func TestFacadeMethodsAgree(t *testing.T) {
+	p := Baseline()
+	cfg := Config{Internal: InternalNone, NodeFaultTolerance: 3}
+	cf, err := Analyze(p, cfg, MethodClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Analyze(p, cfg, MethodExactChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(cf.MTTDLHours-ex.MTTDLHours) / ex.MTTDLHours; rel > 0.05 {
+		t.Errorf("closed form and exact chain differ by %.1f%%", 100*rel)
+	}
+}
