@@ -18,6 +18,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/markov"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/rebuild"
 	"repro/internal/sim"
@@ -121,6 +122,42 @@ func BenchmarkSimulatorValidation(b *testing.B) {
 		mean = est.MeanHours
 	}
 	b.ReportMetric(mean, "MTTDL-h")
+}
+
+// BenchmarkDESBaseline and BenchmarkDESInstrumented bound the cost of the
+// observability layer on the DES hot loop: baseline runs with no metrics
+// attached (the nil-guard path), instrumented attaches a live registry and
+// event hook. The ratio of their ns/op is the telemetry overhead.
+func desOverheadScenario() sim.Scenario {
+	return sim.Scenario{
+		N: 8, R: 4, D: 3, T: 1,
+		LambdaN: 1e-3, LambdaD: 2e-3, MuN: 2, MuD: 5,
+		CHER: 0.01, Repair: sim.RepairExponential,
+	}
+}
+
+func BenchmarkDESBaseline(b *testing.B) {
+	sc := desOverheadScenario()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.EstimateMTTDL(sc, rng, 100, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDESInstrumented(b *testing.B) {
+	sc := desOverheadScenario()
+	rng := rand.New(rand.NewSource(1))
+	reg := obs.NewRegistry()
+	ob := sim.Observer{Metrics: sim.NewMetrics(reg)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.EstimateMTTDLObserved(sc, rng, 100, 1_000_000, ob); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkBiasedRareEvent measures the balanced-failure-biasing estimator

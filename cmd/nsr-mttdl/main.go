@@ -15,7 +15,11 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/params"
+	"repro/internal/rebuild"
 )
 
 // output is the JSON document printed on success.
@@ -49,7 +53,17 @@ func run() error {
 	flag.IntVar(&p.DrivesPerNode, "d", p.DrivesPerNode, "drives per node")
 	flag.Float64Var(&p.RebuildCommandBytes, "block", p.RebuildCommandBytes, "rebuild command size in bytes")
 	flag.Float64Var(&p.LinkSpeedGbps, "link", p.LinkSpeedGbps, "link speed in Gb/s")
+	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := oflags.Start()
+	if err != nil {
+		return err
+	}
+	if sess.Registry != nil {
+		markov.Instrument(sess.Registry)
+		linalg.Instrument(sess.Registry)
+		rebuild.Instrument(sess.Registry)
+	}
 
 	var ir core.InternalRedundancy
 	switch *internal {
@@ -76,12 +90,13 @@ func run() error {
 	cfg := core.Config{Internal: ir, NodeFaultTolerance: *ft}
 	r, err := core.Analyze(p, cfg, method)
 	if err != nil {
+		sess.Finish() //nolint:errcheck // the analysis error wins
 		return err
 	}
 	target := core.PaperTarget()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(output{
+	encErr := enc.Encode(output{
 		Configuration:   cfg.String(),
 		Method:          method.String(),
 		MTTDLHours:      r.MTTDLHours,
@@ -91,4 +106,8 @@ func run() error {
 		MeetsTarget:     target.Meets(r),
 		TargetMargin:    target.Margin(r),
 	})
+	if err := sess.Finish(); encErr == nil {
+		encErr = err
+	}
+	return encErr
 }

@@ -13,7 +13,11 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/params"
+	"repro/internal/rebuild"
 )
 
 func main() {
@@ -25,7 +29,17 @@ func main() {
 
 func run() error {
 	fig := flag.Int("fig", 0, "figure number 14..20 (0 = all)")
+	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := oflags.Start()
+	if err != nil {
+		return err
+	}
+	if sess.Registry != nil {
+		markov.Instrument(sess.Registry)
+		linalg.Instrument(sess.Registry)
+		rebuild.Instrument(sess.Registry)
+	}
 	p := params.Baseline()
 
 	print2 := func(tables []*experiments.Table, err error) error {
@@ -54,17 +68,24 @@ func run() error {
 		19: func() error { t, pts, err := experiments.Fig19RedundancySetSize(p); return print1(t, pts, err) },
 		20: func() error { t, pts, err := experiments.Fig20DrivesPerNode(p); return print1(t, pts, err) },
 	}
+	var runErr error
 	if *fig != 0 {
 		fn, ok := run[*fig]
 		if !ok {
-			return fmt.Errorf("unknown figure %d (valid: 14..20)", *fig)
+			runErr = fmt.Errorf("unknown figure %d (valid: 14..20)", *fig)
+		} else {
+			runErr = fn()
 		}
-		return fn()
-	}
-	for f := 14; f <= 20; f++ {
-		if err := run[f](); err != nil {
-			return err
+	} else {
+		progress := sess.Progress("figures", 7, nil)
+		for f := 14; f <= 20 && runErr == nil; f++ {
+			runErr = run[f]()
+			obs.ProgressAdd(progress, 1)
 		}
+		obs.ProgressStop(progress)
 	}
-	return nil
+	if err := sess.Finish(); runErr == nil {
+		runErr = err
+	}
+	return runErr
 }

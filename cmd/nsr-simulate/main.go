@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 
 	"repro/internal/closedform"
 	"repro/internal/core"
+	"repro/internal/linalg"
 	"repro/internal/markov"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/rebuild"
 	"repro/internal/sim"
@@ -35,21 +38,40 @@ func run() error {
 	mode := flag.String("mode", "des", "validation mode: des or biased")
 	trials := flag.Int("trials", 2000, "DES trials / 10× biased cycles")
 	seed := flag.Int64("seed", 1, "random seed")
+	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := oflags.Start()
+	if err != nil {
+		return err
+	}
+	if sess.Registry != nil {
+		markov.Instrument(sess.Registry)
+		linalg.Instrument(sess.Registry)
+		rebuild.Instrument(sess.Registry)
+		sess.Registry.SetLabel("seed", strconv.FormatInt(*seed, 10))
+		sess.Registry.SetLabel("mode", *mode)
+	}
+	// The effective seed makes every run reproducible from its logs.
+	fmt.Printf("seed %d\n", *seed)
+	var runErr error
 	switch *mode {
 	case "des":
-		return runDES(*trials, *seed)
+		runErr = runDES(*trials, *seed, sess)
 	case "biased":
-		return runBiased(*trials*10, *seed)
+		runErr = runBiased(*trials*10, *seed, sess)
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		runErr = fmt.Errorf("unknown mode %q", *mode)
 	}
+	if err := sess.Finish(); runErr == nil {
+		runErr = err
+	}
+	return runErr
 }
 
 // runDES compares the full-system simulator against exact chain solutions
 // in an accelerated-failure regime (the baseline itself is unreachable by
 // naive simulation).
-func runDES(trials int, seed int64) error {
+func runDES(trials int, seed int64, sess *obs.Session) error {
 	rng := rand.New(rand.NewSource(seed))
 	fmt.Println("Full-system DES vs exact Markov chain (accelerated failures)")
 	fmt.Println("config                         chain MTTDL      DES MTTDL        ratio")
@@ -93,18 +115,40 @@ func runDES(trials int, seed int64) error {
 		}
 		return scenario{name: "FT 1, internal RAID 5", sc: sc, chain: model.IRChain(in, 1)}
 	}
-	for _, s := range []scenario{nir(1), nir(2), ir()} {
+	scenarios := []scenario{nir(1), nir(2), ir()}
+	var m *sim.Metrics
+	if sess.Registry != nil {
+		m = sim.NewMetrics(sess.Registry)
+	}
+	status := func() string {
+		if m == nil {
+			return ""
+		}
+		return fmt.Sprintf("%d loss events, %d sim events", m.Missions.Value(), m.Events.Value())
+	}
+	progress := sess.Progress("missions", int64(trials*len(scenarios)), status)
+	ob := sim.Observer{
+		Metrics: m,
+		Hook:    sess.Hook(),
+		OnMission: func(int, sim.LossResult) {
+			obs.ProgressAdd(progress, 1)
+		},
+	}
+	for _, s := range scenarios {
 		want, err := markov.MTTA(s.chain)
 		if err != nil {
+			obs.ProgressStop(progress)
 			return err
 		}
-		est, err := sim.EstimateMTTDL(s.sc, rng, trials, 10_000_000)
+		est, err := sim.EstimateMTTDLObserved(s.sc, rng, trials, 10_000_000, ob)
 		if err != nil {
+			obs.ProgressStop(progress)
 			return err
 		}
 		fmt.Printf("%-29s  %-15.6g  %7.6g ± %-4.2g  %.3f\n",
 			s.name, want, est.MeanHours, 1.96*est.StdErr, est.MeanHours/want)
 	}
+	obs.ProgressStop(progress)
 	fmt.Println("\nratios near 1 validate the chains; FT 2 ratios above 1 quantify the")
 	fmt.Println("chains' conservative last-in-first-out repair assumption.")
 	return nil
@@ -112,13 +156,16 @@ func runDES(trials int, seed int64) error {
 
 // runBiased estimates the baseline chains' MTTDL by balanced failure
 // biasing and compares with the dense linear-algebra solution.
-func runBiased(cycles int, seed int64) error {
+func runBiased(cycles int, seed int64, sess *obs.Session) error {
 	rng := rand.New(rand.NewSource(seed))
 	p := params.Baseline()
 	fmt.Println("Balanced-failure-biasing estimator vs dense LU solution (baseline chains)")
 	fmt.Println("config                   exact MTTDL (h)  biased estimate (h)    rel CI")
 	fmt.Println("-----------------------  ---------------  ---------------------  ------")
-	for _, cfg := range core.SensitivityConfigs() {
+	configs := core.SensitivityConfigs()
+	progress := sess.Progress("configs", int64(len(configs)), nil)
+	defer obs.ProgressStop(progress)
+	for _, cfg := range configs {
 		ch, err := buildChain(p, cfg)
 		if err != nil {
 			return err
@@ -133,6 +180,7 @@ func runBiased(cycles int, seed int64) error {
 		}
 		fmt.Printf("%-23s  %-15.6g  %9.6g ± %-8.2g  %.1f%%\n",
 			cfg, want, est.MTTA, 1.96*est.StdErr, 100*est.RelHalfWidth95())
+		obs.ProgressAdd(progress, 1)
 	}
 	return nil
 }

@@ -13,7 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -36,7 +39,8 @@ var (
 	nodes     = flag.Int("nodes", 16, "nodes")
 	drives    = flag.Int("drives", 4, "drives per node")
 	years     = flag.Float64("years", 5, "mission length in years")
-	seed      = flag.Int64("seed", 1, "generation seed")
+	seed      = flag.Int64("seed", 1, "generation seed (-montecarlo uses seed..seed+N-1)")
+	oflags    *obs.Flags
 	nodeMTTF  = flag.Float64("node-mttf", 400_000, "node MTTF (hours)")
 	driveMTTF = flag.Float64("drive-mttf", 300_000, "drive MTTF (hours)")
 	latent    = flag.Float64("latent", 0, "latent faults per drive-hour")
@@ -74,20 +78,33 @@ func newStore() (*storage.System, error) {
 }
 
 func run() error {
+	oflags = obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := oflags.Start()
+	if err != nil {
+		return err
+	}
+	if sess.Registry != nil {
+		sess.Registry.SetLabel("seed", strconv.FormatInt(*seed, 10))
+	}
+	var runErr error
 	switch {
 	case *gen:
-		return runGen()
+		runErr = runGen()
 	case *statsFile != "":
-		return runStats(*statsFile)
+		runErr = runStats(*statsFile)
 	case *replayFile != "":
-		return runReplay(*replayFile)
+		runErr = runReplay(*replayFile, sess)
 	case *monte > 0:
-		return runMonteCarlo(*monte)
+		runErr = runMonteCarlo(*monte, sess)
 	default:
 		flag.Usage()
-		return fmt.Errorf("pick one of -gen, -stats, -replay, -montecarlo")
+		runErr = fmt.Errorf("pick one of -gen, -stats, -replay, -montecarlo")
 	}
+	if err := sess.Finish(); runErr == nil {
+		runErr = err
+	}
+	return runErr
 }
 
 func runGen() error {
@@ -95,16 +112,20 @@ func runGen() error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	fmt.Fprintf(os.Stderr, "generating trace with seed %d\n", *seed)
+	if *out == "" {
+		return tr.WriteCSV(os.Stdout)
 	}
-	return tr.WriteCSV(w)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	// Close errors matter here: buffered CSV bytes surface only at close.
+	return f.Close()
 }
 
 func readTrace(path string) (*trace.Trace, error) {
@@ -128,7 +149,7 @@ func runStats(path string) error {
 	return nil
 }
 
-func runReplay(path string) error {
+func runReplay(path string, sess *obs.Session) error {
 	tr, err := readTrace(path)
 	if err != nil {
 		return err
@@ -141,6 +162,8 @@ func runReplay(path string) error {
 	rep, err := trace.Replay(tr, sys, trace.Policy{
 		RebuildAfterEachFailure: *rebuild,
 		ScrubEveryHours:         *scrubH,
+		Obs:                     sess.Registry,
+		Hook:                    sess.Hook(),
 	})
 	if err != nil {
 		return err
@@ -151,32 +174,47 @@ func runReplay(path string) error {
 	return nil
 }
 
-func runMonteCarlo(n int) error {
-	lossTraces := 0
+func runMonteCarlo(n int, sess *obs.Session) error {
+	// The status closure runs on the progress goroutine, so the tally is
+	// atomic.
+	var lossTraces atomic.Int64
 	var totalEvents int
+	progress := sess.Progress("traces", int64(n), func() string {
+		return fmt.Sprintf("%d with data loss", lossTraces.Load())
+	})
 	for s := 0; s < n; s++ {
-		tr, err := trace.Generate(options(int64(s)))
+		// Seeds are offsets from -seed, so any single trace can be
+		// regenerated from the printed base seed alone.
+		tr, err := trace.Generate(options(*seed + int64(s)))
 		if err != nil {
+			obs.ProgressStop(progress)
 			return err
 		}
 		sys, err := newStore()
 		if err != nil {
+			obs.ProgressStop(progress)
 			return err
 		}
 		rep, err := trace.Replay(tr, sys, trace.Policy{
 			RebuildAfterEachFailure: *rebuild,
 			ScrubEveryHours:         *scrubH,
+			Obs:                     sess.Registry,
+			Hook:                    sess.Hook(),
 		})
 		if err != nil {
+			obs.ProgressStop(progress)
 			return err
 		}
 		totalEvents += rep.EventsApplied
 		if rep.UnreadableAtEnd > 0 || rep.ObjectsLost > 0 {
-			lossTraces++
+			lossTraces.Add(1)
 		}
+		obs.ProgressAdd(progress, 1)
 	}
-	fmt.Printf("%d traces × %.1f years (%d nodes × %d drives, FT %d): %d with data loss (%.2f%%), %.1f events/trace\n",
-		n, *years, *nodes, *drives, *ft, lossTraces,
-		100*float64(lossTraces)/float64(n), float64(totalEvents)/float64(n))
+	obs.ProgressStop(progress)
+	lost := lossTraces.Load()
+	fmt.Printf("%d traces × %.1f years (%d nodes × %d drives, FT %d, seeds %d..%d): %d with data loss (%.2f%%), %.1f events/trace\n",
+		n, *years, *nodes, *drives, *ft, *seed, *seed+int64(n)-1, lost,
+		100*float64(lost)/float64(n), float64(totalEvents)/float64(n))
 	return nil
 }

@@ -26,6 +26,7 @@ func Factorize(a *Matrix) (*LU, error) {
 	if a.rows != a.cols {
 		panic(fmt.Sprintf("linalg: Factorize requires a square matrix, got %dx%d", a.rows, a.cols))
 	}
+	start := factorizeStart()
 	n := a.rows
 	lu := a.Clone()
 	piv := make([]int, n)
@@ -69,7 +70,9 @@ func Factorize(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f := &LU{lu: lu, piv: piv, sign: sign}
+	factorizeDone(start, f)
+	return f, nil
 }
 
 // N returns the dimension of the factorized matrix.

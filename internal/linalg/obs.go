@@ -1,0 +1,71 @@
+package linalg
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Package-level instrumentation for the dense kernels, nil (one atomic
+// load per factorization) by default.
+type linalgMetrics struct {
+	factorizations   *obs.Counter
+	factorizeSeconds *obs.Histogram
+	dimension        *obs.Histogram
+	minPivot         *obs.Gauge
+}
+
+var instr atomic.Pointer[linalgMetrics]
+
+// Instrument routes factorization telemetry into reg: counts, wall time,
+// matrix dimensions, and the smallest pivot magnitude of the most recent
+// factorization (a cheap conditioning signal). Pass nil to disable.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&linalgMetrics{
+		factorizations:   reg.Counter("linalg.factorizations"),
+		factorizeSeconds: reg.Histogram("linalg.factorize_seconds", obs.ExpBuckets(1e-7, 4, 16)),
+		dimension:        reg.Histogram("linalg.dimension", obs.ExpBuckets(2, 2, 12)),
+		minPivot:         reg.Gauge("linalg.last_min_pivot"),
+	})
+}
+
+// factorizeDone records one completed factorization when instrumented.
+func factorizeDone(start time.Time, f *LU) {
+	m := instr.Load()
+	if m == nil {
+		return
+	}
+	m.factorizations.Inc()
+	if !start.IsZero() {
+		m.factorizeSeconds.Observe(time.Since(start).Seconds())
+	}
+	n := f.N()
+	m.dimension.Observe(float64(n))
+	min := abs(f.lu.data[0])
+	for i := 0; i < n; i++ {
+		if p := abs(f.lu.data[i*n+i]); p < min {
+			min = p
+		}
+	}
+	m.minPivot.Set(min)
+}
+
+// factorizeStart returns the wall-clock start only when instrumented.
+func factorizeStart() time.Time {
+	if instr.Load() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

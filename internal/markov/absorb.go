@@ -43,12 +43,16 @@ func Absorption(c *Chain) (*AbsorptionResult, error) {
 		}
 		return res, nil
 	}
+	timer := absorptionTimer(c.NumStates())
 	f, err := linalg.Factorize(r)
 	if err != nil {
 		return nil, fmt.Errorf("markov: absorption matrix: %w", err)
 	}
 	// τ_B = π_B(0)·R⁻¹ means Rᵀ·τ = π_B(0).
 	tau := f.SolveTranspose(linalg.Unit(len(trans), initRow))
+	if timer != nil {
+		timer(absorptionResidual(r, tau, initRow))
+	}
 	res := &AbsorptionResult{
 		MeanTimeToAbsorption: linalg.Sum(tau),
 		TimeInState:          make(map[string]float64, len(trans)),
@@ -65,6 +69,28 @@ func Absorption(c *Chain) (*AbsorptionResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// absorptionResidual returns ‖Rᵀτ − e_init‖∞, the backward error of the
+// absorption solve — computed only when solver instrumentation is on.
+func absorptionResidual(r *linalg.Matrix, tau []float64, initRow int) float64 {
+	var worst float64
+	for j := 0; j < len(tau); j++ {
+		var s float64
+		for i := 0; i < len(tau); i++ {
+			s += r.At(i, j) * tau[i]
+		}
+		if j == initRow {
+			s -= 1
+		}
+		if s < 0 {
+			s = -s
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
 }
 
 // MTTA is a convenience wrapper returning only the mean time to absorption.

@@ -1,0 +1,89 @@
+package markov
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Package-level solver instrumentation, nil (one atomic load) by
+// default. The chain solvers run deep inside analysis sweeps and
+// figure generators, so the wiring is per-process: Instrument once in
+// the command, read the registry snapshot at the end.
+type solverMetrics struct {
+	absorptionSolves  *obs.Counter
+	absorptionSeconds *obs.Histogram
+	absorptionStates  *obs.Histogram
+	residual          *obs.Gauge
+
+	transientSolves  *obs.Counter
+	transientSeconds *obs.Histogram
+	transientTerms   *obs.Histogram
+	truncationError  *obs.Gauge
+}
+
+var instr atomic.Pointer[solverMetrics]
+
+// Instrument routes solver telemetry into reg: per-solve wall time and
+// chain size for the absorption (MTTDL) path, uniformization term counts
+// for the transient path, and the most recent solution residuals. Pass
+// nil to disable again. Instrumented absorption solves additionally
+// compute the ∞-norm residual ‖Rᵀτ − e‖ (one extra mat-vec, O(n²)
+// against the solve's O(n³)).
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&solverMetrics{
+		absorptionSolves:  reg.Counter("markov.absorption.solves"),
+		absorptionSeconds: reg.Histogram("markov.absorption.seconds", obs.ExpBuckets(1e-6, 4, 16)),
+		absorptionStates:  reg.Histogram("markov.absorption.states", obs.ExpBuckets(2, 2, 12)),
+		residual:          reg.Gauge("markov.absorption.last_residual"),
+		transientSolves:   reg.Counter("markov.transient.solves"),
+		transientSeconds:  reg.Histogram("markov.transient.seconds", obs.ExpBuckets(1e-6, 4, 16)),
+		transientTerms:    reg.Histogram("markov.transient.terms", obs.ExpBuckets(1, 4, 16)),
+		truncationError:   reg.Gauge("markov.transient.last_truncation"),
+	})
+}
+
+// solveTimer returns a stop function that records one absorption solve,
+// or a no-op when instrumentation is off.
+func absorptionTimer(states int) func(residual float64) {
+	m := instr.Load()
+	if m == nil {
+		return nil
+	}
+	start := time.Now()
+	return func(residual float64) {
+		m.absorptionSolves.Inc()
+		m.absorptionSeconds.Observe(time.Since(start).Seconds())
+		m.absorptionStates.Observe(float64(states))
+		m.residual.Set(residual)
+	}
+}
+
+// transientDone records one uniformization run when instrumented.
+func transientDone(start time.Time, terms int, truncation float64) {
+	m := instr.Load()
+	if m == nil {
+		return
+	}
+	m.transientSolves.Inc()
+	if !start.IsZero() {
+		m.transientSeconds.Observe(time.Since(start).Seconds())
+	}
+	m.transientTerms.Observe(float64(terms))
+	m.truncationError.Set(truncation)
+}
+
+// transientStart returns the wall-clock start time only when
+// instrumentation is on (zero time otherwise, so the disabled path makes
+// no clock calls).
+func transientStart() time.Time {
+	if instr.Load() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}

@@ -81,12 +81,15 @@ func TransientDistribution(c *Chain, t float64, opts TransientOptions) ([]float6
 	// tail bound (the mass check alone can be defeated by accumulated
 	// floating-point drift in the log-weight recursion at large Λt —
 	// the tail beyond Λt+12√Λt carries < 1e-25 of the mass).
+	start := transientStart()
 	logW := -lt // log of e^{-Λt}·(Λt)^0/0!
 	sumW := 0.0
 	acc := make([]float64, n)
 	vk := pi
 	tailCutoff := int(lt+12*math.Sqrt(lt)) + 50
+	terms := 0
 	for k := 0; ; k++ {
+		terms = k + 1
 		w := math.Exp(logW)
 		if w > 0 {
 			for i, v := range vk {
@@ -109,6 +112,7 @@ func TransientDistribution(c *Chain, t float64, opts TransientOptions) ([]float6
 			acc[i] /= sumW
 		}
 	}
+	transientDone(start, terms, 1-sumW)
 	return acc, nil
 }
 

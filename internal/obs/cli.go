@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Flags is the shared observability CLI surface: every long-running
+// command registers the same three flags so instrumentation is uniform
+// across the binaries.
+type Flags struct {
+	// Metrics is a path to write the final JSON metrics snapshot to
+	// ("-" for stdout). Empty disables metrics collection entirely —
+	// commands should only build a Registry when Enabled reports true.
+	Metrics string
+	// Progress is the interval between progress reports (0 = silent).
+	Progress time.Duration
+	// PProf is an address to serve live pprof on, or a file path for a
+	// whole-run CPU profile (see StartPProf).
+	PProf string
+	// Events is a path for the JSONL structured-event stream (optional).
+	Events string
+}
+
+// AddFlags registers -metrics, -progress, -pprof and -events on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", "write a JSON metrics snapshot to this file on exit (\"-\" = stdout)")
+	fs.DurationVar(&f.Progress, "progress", 0, "report progress at this interval (e.g. 5s; 0 = silent)")
+	fs.StringVar(&f.PProf, "pprof", "", "serve live pprof on host:port, or capture a CPU profile to this file")
+	fs.StringVar(&f.Events, "events", "", "append structured JSONL events to this file")
+	return f
+}
+
+// Enabled reports whether any metrics consumer was requested, i.e.
+// whether the command should pay for instrumentation at all.
+func (f *Flags) Enabled() bool { return f.Metrics != "" || f.Events != "" }
+
+// Session is the live observability state of one command run.
+type Session struct {
+	// Registry is non-nil when metrics were requested.
+	Registry *Registry
+	// Sink is non-nil when -events was given; it implements Hook.
+	Sink *JSONLSink
+
+	flags    *Flags
+	stopProf func() error
+}
+
+// Hook returns the session's event hook, nil when events are disabled —
+// callers pass it straight into instrumented code, which nil-guards.
+func (s *Session) Hook() Hook {
+	if s == nil || s.Sink == nil {
+		return nil
+	}
+	return s.Sink
+}
+
+// Start opens the session: begins pprof capture and creates the event
+// sink and registry as requested. Always returns a usable session (all
+// fields nil when nothing was requested).
+func (f *Flags) Start() (*Session, error) {
+	s := &Session{flags: f}
+	if f.Metrics != "" {
+		s.Registry = NewRegistry()
+	}
+	if f.PProf != "" {
+		stop, err := StartPProf(f.PProf)
+		if err != nil {
+			return nil, err
+		}
+		s.stopProf = stop
+	}
+	if f.Events != "" {
+		sink, err := CreateJSONLSink(f.Events)
+		if err != nil {
+			if s.stopProf != nil {
+				s.stopProf() //nolint:errcheck // the create error wins
+			}
+			return nil, err
+		}
+		s.Sink = sink
+	}
+	return s, nil
+}
+
+// Progress starts a progress reporter if -progress was given; otherwise
+// it returns nil (callers nil-guard Add/Stop or use the returned value's
+// nil-safe wrappers below).
+func (s *Session) Progress(label string, total int64, status func() string) *Progress {
+	if s == nil || s.flags.Progress <= 0 {
+		return nil
+	}
+	return StartProgress(os.Stderr, label, total, s.flags.Progress, status)
+}
+
+// Finish stops profiling, flushes the event sink, and writes the metrics
+// snapshot. It returns the first error.
+func (s *Session) Finish() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.stopProf != nil {
+		first = s.stopProf()
+		s.stopProf = nil
+	}
+	if s.Sink != nil {
+		if err := s.Sink.Close(); first == nil {
+			first = err
+		}
+	}
+	if s.Registry != nil && s.flags.Metrics != "" {
+		snap := s.Registry.Snapshot()
+		var err error
+		if s.flags.Metrics == "-" {
+			err = snap.WriteJSON(os.Stdout)
+		} else {
+			err = snap.WriteJSONFile(s.flags.Metrics)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", s.flags.Metrics)
+			}
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ProgressAdd is a nil-safe Progress.Add.
+func ProgressAdd(p *Progress, n int64) {
+	if p != nil {
+		p.Add(n)
+	}
+}
+
+// ProgressStop is a nil-safe Progress.Stop.
+func ProgressStop(p *Progress) {
+	if p != nil {
+		p.Stop()
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import "encoding/json"
+
+// Event is one structured occurrence: a timestamp in the emitter's own
+// unit (simulated hours for the DES, mission index for Monte Carlo
+// sweeps), a name, and free-form fields. It marshals flat — fields sit
+// beside "t" and "event" in the JSON object.
+type Event struct {
+	T      float64
+	Name   string
+	Fields map[string]any
+}
+
+// MarshalJSON flattens the event into one JSON object.
+func (e Event) MarshalJSON() ([]byte, error) {
+	m := make(map[string]any, len(e.Fields)+2)
+	for k, v := range e.Fields {
+		m[k] = v
+	}
+	m["t"] = e.T
+	m["event"] = e.Name
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON restores an event written by MarshalJSON. Unknown keys
+// become fields; numeric field values come back as float64 (the
+// encoding/json default).
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	if t, ok := m["t"].(float64); ok {
+		e.T = t
+	}
+	if n, ok := m["event"].(string); ok {
+		e.Name = n
+	}
+	delete(m, "t")
+	delete(m, "event")
+	if len(m) > 0 {
+		e.Fields = m
+	} else {
+		e.Fields = nil
+	}
+	return nil
+}
+
+// Hook receives structured events. Implementations must be safe for
+// concurrent use.
+//
+// The zero-overhead contract: instrumented code holds a Hook variable
+// that is nil when telemetry is off, and guards every emission site with
+//
+//	if hook != nil {
+//		hook.Emit(obs.Event{...})
+//	}
+//
+// so the disabled path is one branch — the Event literal (and any field
+// map) is only constructed inside the guard. Tests assert the nil path
+// allocates zero bytes.
+type Hook interface {
+	Emit(e Event)
+}
+
+// MultiHook fans one emission out to several hooks.
+type MultiHook []Hook
+
+// Emit forwards e to every hook in order.
+func (m MultiHook) Emit(e Event) {
+	for _, h := range m {
+		h.Emit(e)
+	}
+}

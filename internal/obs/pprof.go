@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// StartPProf enables profiling per spec:
+//
+//   - "host:port" or ":port" starts an HTTP server exposing the standard
+//     /debug/pprof/ endpoints for live inspection of a long run;
+//   - anything else is a file path: a CPU profile is captured there for
+//     the whole run, and a heap profile is written to <path>.heap when
+//     the returned stop function runs.
+//
+// stop is never nil on success and is safe to call exactly once.
+func StartPProf(spec string) (stop func() error, err error) {
+	if host, port, splitErr := net.SplitHostPort(spec); splitErr == nil && port != "" {
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+		if err != nil {
+			return nil, fmt.Errorf("obs: pprof listen %s: %w", spec, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+		return func() error { return srv.Close() }, nil
+	}
+	f, err := os.Create(spec)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof profile: %w", err)
+	}
+	if err := rpprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: pprof start: %w", err)
+	}
+	return func() error {
+		rpprof.StopCPUProfile()
+		err := f.Close()
+		if herr := WriteHeapProfile(spec + ".heap"); err == nil {
+			err = herr
+		}
+		return err
+	}, nil
+}
+
+// WriteHeapProfile captures an up-to-date heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // get up-to-date allocation statistics
+	if err := rpprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

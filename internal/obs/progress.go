@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress periodically reports how far a long run has come: items done,
+// rate, percent and ETA when the total is known, plus an optional
+// caller-supplied status string (e.g. "12 loss events so far"). Add is
+// one atomic increment; all printing happens on a background goroutine.
+type Progress struct {
+	w        io.Writer
+	label    string
+	total    int64
+	interval time.Duration
+	status   func() string
+	start    time.Time
+
+	done atomic.Int64
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartProgress begins reporting every interval on w. total <= 0 means
+// unknown (no percent/ETA). status may be nil. Stop the reporter with
+// Stop, which prints a final line.
+func StartProgress(w io.Writer, label string, total int64, interval time.Duration, status func() string) *Progress {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	p := &Progress{
+		w: w, label: label, total: total, interval: interval,
+		status: status, start: time.Now(), stop: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// Add records n more completed items.
+func (p *Progress) Add(n int64) { p.done.Add(n) }
+
+// Done returns the items completed so far.
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// Stop halts the reporter and prints a final summary line. Safe to call
+// once.
+func (p *Progress) Stop() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.report(false)
+		case <-p.stop:
+			p.report(true)
+			return
+		}
+	}
+}
+
+func (p *Progress) report(final bool) {
+	done := p.done.Load()
+	elapsed := time.Since(p.start)
+	rate := float64(done) / elapsed.Seconds()
+	line := fmt.Sprintf("%s: %d", p.label, done)
+	if p.total > 0 {
+		line += fmt.Sprintf("/%d (%.1f%%)", p.total, 100*float64(done)/float64(p.total))
+	}
+	line += fmt.Sprintf(" in %s (%.0f/s)", elapsed.Round(time.Second), rate)
+	if p.total > 0 && done > 0 && done < p.total && !final {
+		eta := time.Duration(float64(p.total-done) / rate * float64(time.Second))
+		line += fmt.Sprintf(" ETA %s", eta.Round(time.Second))
+	}
+	if final {
+		line += " done"
+	}
+	if p.status != nil {
+		if s := p.status(); s != "" {
+			line += " | " + s
+		}
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONLSink is a Hook that appends one JSON object per event to a
+// buffered writer. It is safe for concurrent use. Errors encountered
+// while writing are sticky and reported by Flush/Close — per-event error
+// returns would poison every hot emission site with error plumbing.
+type JSONLSink struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	c    io.Closer // non-nil when the sink owns the underlying file
+	err  error
+	enc  *json.Encoder
+	seen int64
+}
+
+// NewJSONLSink wraps w. The caller keeps ownership of w; call Flush
+// before reading what was written.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// CreateJSONLSink creates (truncates) path and returns a sink that owns
+// the file; Close flushes and closes it.
+func CreateJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewJSONLSink(f)
+	s.c = f
+	return s, nil
+}
+
+// Emit appends one event line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(e); err != nil {
+		s.err = err
+		return
+	}
+	s.seen++
+}
+
+// Events returns the number of events accepted so far.
+func (s *JSONLSink) Events() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+	return s.err
+}
+
+// Close flushes, closes the underlying file if the sink owns one, and
+// returns the first error seen.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+		s.c = nil
+	}
+	return err
+}
+
+// ReadJSONL parses a stream written by JSONLSink back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}

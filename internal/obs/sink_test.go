@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	in := []Event{
+		{T: 0, Name: "start"},
+		{T: 12.5, Name: "data_loss", Fields: map[string]any{"mission": 3.0, "cause": "restripe_ue"}},
+		{T: 99, Name: "rebuild", Fields: map[string]any{"bytes": 4096.0}},
+	}
+	for _, e := range in {
+		s.Emit(e)
+	}
+	if got := s.Events(); got != int64(len(in)) {
+		t.Fatalf("Events() = %d, want %d", got, len(in))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(in) {
+		t.Fatalf("wrote %d lines, want %d:\n%s", lines, len(in), buf.String())
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestJSONLSinkFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	s, err := CreateJSONLSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Emit(Event{T: 1, Name: "a"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Name != "a" {
+		t.Fatalf("read back %+v", events)
+	}
+}
+
+// failWriter errors after the first write to exercise the sticky error.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	s := NewJSONLSink(&failWriter{})
+	// Oversized fields force a buffer flush per event so the writer error
+	// surfaces while events are still being emitted.
+	big := strings.Repeat("x", 8192)
+	for i := 0; i < 4; i++ {
+		s.Emit(Event{T: float64(i), Name: big})
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush() = nil, want the underlying write error")
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close() must keep reporting the sticky error")
+	}
+}
+
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Emit(Event{T: float64(i), Name: "e", Fields: map[string]any{"w": float64(w)}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the stream: %v", err)
+	}
+	if len(events) != workers*per {
+		t.Fatalf("got %d events, want %d", len(events), workers*per)
+	}
+}
+
+func TestMultiHook(t *testing.T) {
+	var a, b bytes.Buffer
+	sa, sb := NewJSONLSink(&a), NewJSONLSink(&b)
+	m := MultiHook{sa, sb}
+	m.Emit(Event{T: 1, Name: "x"})
+	if sa.Events() != 1 || sb.Events() != 1 {
+		t.Fatalf("fan-out failed: %d, %d", sa.Events(), sb.Events())
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// BucketCount is one histogram bucket in a snapshot: the count of
+// observations at or below UpperBound (non-cumulative; each observation
+// appears in exactly one bucket).
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Buckets lists the finite bounds; Overflow counts observations above
+	// the last bound (the +Inf bucket, kept separate so the document stays
+	// valid JSON).
+	Buckets  []BucketCount `json:"buckets"`
+	Overflow int64         `json:"overflow"`
+}
+
+// Mean returns the mean observation, or NaN with no observations.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a registry: each
+// individual value is read atomically, but values observed concurrently
+// with the snapshot may land on either side.
+type Snapshot struct {
+	Labels     map[string]string            `json:"labels,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every registered metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if len(r.labels) > 0 {
+		s.Labels = make(map[string]string, len(r.labels))
+		for k, v := range r.labels {
+			s.Labels[k] = v
+		}
+	}
+	for name, m := range r.names {
+		switch m := m.(type) {
+		case *Counter:
+			s.Counters[name] = m.Value()
+		case *Gauge:
+			s.Gauges[name] = m.Value()
+		case *Histogram:
+			hs := HistogramSnapshot{
+				Count:    m.Count(),
+				Sum:      m.Sum(),
+				Buckets:  make([]BucketCount, len(m.bounds)),
+				Overflow: m.counts[len(m.bounds)].Load(),
+			}
+			for i, b := range m.bounds {
+				hs.Buckets[i] = BucketCount{UpperBound: b, Count: m.counts[i].Load()}
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as an indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSONFile writes the snapshot to path, reporting close errors.
+func (s Snapshot) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteText renders the snapshot as sorted human-readable lines: one per
+// counter and gauge, a header plus one line per non-empty bucket for each
+// histogram.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, "counter\x00"+n)
+	}
+	for n := range s.Gauges {
+		names = append(names, "gauge\x00"+n)
+	}
+	for n := range s.Histograms {
+		names = append(names, "histogram\x00"+n)
+	}
+	sort.Strings(names)
+	for _, tagged := range names {
+		kind, name, _ := strings.Cut(tagged, "\x00")
+		var err error
+		switch kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "counter    %-40s %d\n", name, s.Counters[name])
+		case "gauge":
+			_, err = fmt.Fprintf(w, "gauge      %-40s %g\n", name, s.Gauges[name])
+		case "histogram":
+			h := s.Histograms[name]
+			if _, err = fmt.Fprintf(w, "histogram  %-40s count=%d sum=%g mean=%g\n",
+				name, h.Count, h.Sum, h.Mean()); err != nil {
+				return err
+			}
+			for _, b := range h.Buckets {
+				if b.Count == 0 {
+					continue
+				}
+				if _, err = fmt.Fprintf(w, "             le %-12g %d\n", b.UpperBound, b.Count); err != nil {
+					return err
+				}
+			}
+			if h.Overflow > 0 {
+				_, err = fmt.Fprintf(w, "             le +Inf        %d\n", h.Overflow)
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package rebuild
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Package-level instrumentation: the rebuild-rate model is called from
+// deep inside the analysis and experiment sweeps, so telemetry is wired
+// once per process rather than threaded through every signature. The
+// pointer is atomic and nil by default — un-instrumented Compute calls
+// pay one atomic load.
+type rebuildMetrics struct {
+	computes        *obs.Counter
+	nodeDisk        *obs.Counter
+	nodeNetwork     *obs.Counter
+	driveDisk       *obs.Counter
+	driveNetwork    *obs.Counter
+	lastNodeRate    *obs.Gauge
+	lastDriveRate   *obs.Gauge
+	lastRestripeRat *obs.Gauge
+}
+
+var instr atomic.Pointer[rebuildMetrics]
+
+// Instrument routes rebuild-rate telemetry into reg: how many rate
+// computations ran, how often each rebuild path was network- vs
+// disk-limited (the Figure 17 decision), and the latest computed rates.
+// Pass nil to disable again.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&rebuildMetrics{
+		computes:        reg.Counter("rebuild.computes"),
+		nodeDisk:        reg.Counter("rebuild.node_bottleneck.disk"),
+		nodeNetwork:     reg.Counter("rebuild.node_bottleneck.network"),
+		driveDisk:       reg.Counter("rebuild.drive_bottleneck.disk"),
+		driveNetwork:    reg.Counter("rebuild.drive_bottleneck.network"),
+		lastNodeRate:    reg.Gauge("rebuild.last_node_rebuild_per_hour"),
+		lastDriveRate:   reg.Gauge("rebuild.last_drive_rebuild_per_hour"),
+		lastRestripeRat: reg.Gauge("rebuild.last_restripe_per_hour"),
+	})
+}
+
+// record folds one computed rate set into the registry.
+func (m *rebuildMetrics) record(r Rates) {
+	m.computes.Inc()
+	switch r.NodeBottleneck {
+	case BottleneckDisk:
+		m.nodeDisk.Inc()
+	case BottleneckNetwork:
+		m.nodeNetwork.Inc()
+	}
+	switch r.DriveBottleneck {
+	case BottleneckDisk:
+		m.driveDisk.Inc()
+	case BottleneckNetwork:
+		m.driveNetwork.Inc()
+	}
+	m.lastNodeRate.Set(r.NodeRebuild)
+	m.lastDriveRate.Set(r.DriveRebuild)
+	m.lastRestripeRat.Set(r.Restripe)
+}

@@ -149,13 +149,17 @@ func Compute(p params.Parameters, t int) Rates {
 	}
 	nodeT, nodeB := NodeRebuildTimeHours(p, t)
 	driveT, driveB := DriveRebuildTimeHours(p, t)
-	return Rates{
+	r := Rates{
 		NodeRebuild:     1 / nodeT,
 		DriveRebuild:    1 / driveT,
 		Restripe:        1 / RestripeTimeHours(p),
 		NodeBottleneck:  nodeB,
 		DriveBottleneck: driveB,
 	}
+	if m := instr.Load(); m != nil {
+		m.record(r)
+	}
+	return r
 }
 
 // CrossoverLinkSpeedGbps returns the link speed at which the node rebuild

@@ -8,6 +8,7 @@ import (
 	"repro/internal/combinat"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/rebuild"
 )
@@ -142,6 +143,41 @@ type desDrive struct {
 	seq uint64
 }
 
+// LossCause classifies what ended a mission.
+type LossCause int
+
+const (
+	// LossNone means the mission has not (yet) lost data.
+	LossNone LossCause = iota
+	// LossTolerance means more distinct nodes failed concurrently than
+	// the inter-node fault tolerance covers.
+	LossTolerance
+	// LossCriticalUE means an uncorrectable read error struck during a
+	// critical rebuild (the Section 5.2.2 h_α path).
+	LossCriticalUE
+	// LossRestripeUE means an uncorrectable read error struck during a
+	// critical internal-RAID restripe (the Section 5.2.1 k_t path).
+	LossRestripeUE
+
+	lossCauseCount
+)
+
+// String returns the snake_case tag used in metrics and event streams.
+func (c LossCause) String() string {
+	switch c {
+	case LossNone:
+		return "none"
+	case LossTolerance:
+		return "tolerance_exceeded"
+	case LossCriticalUE:
+		return "critical_rebuild_ue"
+	case LossRestripeUE:
+		return "restripe_ue"
+	default:
+		return fmt.Sprintf("LossCause(%d)", int(c))
+	}
+}
+
 // des is one running trajectory.
 type des struct {
 	sc          Scenario
@@ -152,7 +188,31 @@ type des struct {
 	nodes       []desNode
 	outstanding []failureRef
 	lost        bool
+	cause       LossCause
 	events      int
+
+	// Instrumentation: m is nil when disabled; per-event tallies stay in
+	// the local arrays and flush into the atomic registry once per
+	// mission, keeping the instrumented hot loop allocation- and
+	// contention-free.
+	m         *Metrics
+	recs      *desRecorders
+	kindCount [evShock + 1]int64
+}
+
+// desRecorders batches the per-repair histogram samples locally; Flush
+// resets them, so one set is reused across an entire Monte Carlo run
+// instead of being reallocated per mission.
+type desRecorders struct {
+	node, drive, restripe *obs.HistogramRecorder
+}
+
+func newDESRecorders(m *Metrics) *desRecorders {
+	return &desRecorders{
+		node:     m.NodeRebuildHours.Recorder(),
+		drive:    m.DriveRebuildHours.Recorder(),
+		restripe: m.RestripeHours.Recorder(),
+	}
 }
 
 // LossResult describes one simulated run.
@@ -161,6 +221,8 @@ type LossResult struct {
 	Time float64
 	// Events is the number of events processed.
 	Events int
+	// Cause classifies the data-loss event.
+	Cause LossCause
 }
 
 // RunUntilLoss simulates one trajectory from a fresh system to its first
@@ -168,10 +230,17 @@ type LossResult struct {
 // (the scenario is too reliable for naive simulation — use the biased
 // estimator instead).
 func RunUntilLoss(sc Scenario, rng *rand.Rand, maxEvents int) (LossResult, error) {
+	return runUntilLoss(sc, rng, maxEvents, nil, nil)
+}
+
+func runUntilLoss(sc Scenario, rng *rand.Rand, maxEvents int, m *Metrics, recs *desRecorders) (LossResult, error) {
 	if err := sc.Validate(); err != nil {
 		return LossResult{}, err
 	}
-	d := &des{sc: sc, rng: rng}
+	d := &des{sc: sc, rng: rng, m: m, recs: recs}
+	if m != nil && recs == nil {
+		d.recs = newDESRecorders(m)
+	}
 	d.nodes = make([]desNode, sc.N)
 	for i := range d.nodes {
 		d.freshNode(i)
@@ -181,6 +250,7 @@ func RunUntilLoss(sc Scenario, rng *rand.Rand, maxEvents int) (LossResult, error
 	}
 	for !d.lost {
 		if d.events >= maxEvents {
+			d.flushMetrics()
 			return LossResult{}, fmt.Errorf("sim: no data loss within %d events (t=%.3g h); use the biased estimator", maxEvents, d.now)
 		}
 		if d.q.Len() == 0 {
@@ -189,9 +259,29 @@ func RunUntilLoss(sc Scenario, rng *rand.Rand, maxEvents int) (LossResult, error
 		e := d.q.next()
 		d.now = e.at
 		d.events++
+		if d.m != nil {
+			d.kindCount[e.kind]++
+		}
 		d.dispatch(e)
 	}
-	return LossResult{Time: d.now, Events: d.events}, nil
+	d.flushMetrics()
+	return LossResult{Time: d.now, Events: d.events, Cause: d.cause}, nil
+}
+
+// flushMetrics folds the mission-local tallies into the shared registry.
+func (d *des) flushMetrics() {
+	if d.m == nil {
+		return
+	}
+	d.m.Events.Add(int64(d.events))
+	for k := evNodeFail; k <= evShock; k++ {
+		if c := d.kindCount[k]; c != 0 {
+			d.m.byKind[k].Add(c)
+		}
+	}
+	d.recs.node.Flush()
+	d.recs.drive.Flush()
+	d.recs.restripe.Flush()
 }
 
 // freshNode (re)initializes node i as a brand-new spare and schedules its
@@ -344,7 +434,11 @@ func (d *des) nodeLevelFailure(i int) {
 		return
 	}
 	n.rebuild++
-	d.q.schedule(event{at: d.now + d.repairTime(d.sc.MuN), kind: evNodeRebuildDone, node: i, seq: n.rebuild})
+	rt := d.repairTime(d.sc.MuN)
+	if d.m != nil {
+		d.recs.node.Observe(rt)
+	}
+	d.q.schedule(event{at: d.now + rt, kind: evNodeRebuildDone, node: i, seq: n.rebuild})
 }
 
 // nirDriveFailure handles a drive failure when drives directly carry the
@@ -358,7 +452,11 @@ func (d *des) nirDriveFailure(i, j int) {
 	if d.lost {
 		return
 	}
-	d.q.schedule(event{at: d.now + d.repairTime(d.sc.MuD), kind: evDriveRebuildDone, node: i, drive: j, seq: n.drives[j].seq})
+	rt := d.repairTime(d.sc.MuD)
+	if d.m != nil {
+		d.recs.drive.Observe(rt)
+	}
+	d.q.schedule(event{at: d.now + rt, kind: evDriveRebuildDone, node: i, drive: j, seq: n.drives[j].seq})
 }
 
 // checkCriticalArrival applies the data-loss rules after a new failure:
@@ -373,6 +471,7 @@ func (d *des) checkCriticalArrival() {
 	affected := d.affectedNodes()
 	if affected > d.sc.T {
 		d.lost = true
+		d.cause = LossTolerance
 		return
 	}
 	if d.sc.ParityDrives > 0 {
@@ -385,6 +484,7 @@ func (d *des) checkCriticalArrival() {
 		}
 		if d.rng.Float64() < h {
 			d.lost = true
+			d.cause = LossCriticalUE
 		}
 	}
 }
@@ -404,7 +504,11 @@ func (d *des) internalDriveFailure(i, j int) {
 	if !n.restriping {
 		n.restriping = true
 		n.restripe++
-		d.q.schedule(event{at: d.now + d.repairTime(d.sc.MuRestripe), kind: evRestripeDone, node: i, seq: n.restripe})
+		rt := d.repairTime(d.sc.MuRestripe)
+		if d.m != nil {
+			d.recs.restripe.Observe(rt)
+		}
+		d.q.schedule(event{at: d.now + rt, kind: evRestripeDone, node: i, seq: n.restripe})
 	}
 }
 
@@ -434,6 +538,7 @@ func (d *des) restripeDone(i int) {
 			kt := combinat.CriticalFraction(d.sc.N, d.sc.R, d.sc.T)
 			if d.rng.Float64() < kt {
 				d.lost = true
+				d.cause = LossRestripeUE
 				return
 			}
 		}
@@ -481,14 +586,35 @@ func (e Estimate) RelHalfWidth95() float64 {
 // EstimateMTTDL runs independent trajectories and aggregates the observed
 // times to data loss.
 func EstimateMTTDL(sc Scenario, rng *rand.Rand, trials, maxEventsPerTrial int) (Estimate, error) {
+	return estimateMTTDL(sc, rng, trials, maxEventsPerTrial, Observer{})
+}
+
+func estimateMTTDL(sc Scenario, rng *rand.Rand, trials, maxEventsPerTrial int, ob Observer) (Estimate, error) {
 	if trials < 2 {
 		return Estimate{}, fmt.Errorf("sim: need at least 2 trials, got %d", trials)
 	}
 	var sum, sumSq, evts float64
+	var recs *desRecorders
+	if ob.Metrics != nil {
+		recs = newDESRecorders(ob.Metrics)
+	}
 	for i := 0; i < trials; i++ {
-		r, err := RunUntilLoss(sc, rng, maxEventsPerTrial)
+		r, err := runUntilLoss(sc, rng, maxEventsPerTrial, ob.Metrics, recs)
 		if err != nil {
 			return Estimate{}, fmt.Errorf("trial %d: %w", i, err)
+		}
+		if ob.Metrics != nil {
+			ob.Metrics.observeMission(r)
+		}
+		if ob.Hook != nil {
+			ob.Hook.Emit(obs.Event{T: r.Time, Name: "data_loss", Fields: map[string]any{
+				"mission": i,
+				"cause":   r.Cause.String(),
+				"events":  r.Events,
+			}})
+		}
+		if ob.OnMission != nil {
+			ob.OnMission(i, r)
 		}
 		sum += r.Time
 		sumSq += r.Time * r.Time

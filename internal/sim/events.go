@@ -12,7 +12,10 @@
 //     naive simulation can reach.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // eventKind enumerates simulator events.
 type eventKind int
@@ -25,6 +28,26 @@ const (
 	evRestripeDone
 	evShock
 )
+
+// String returns the snake_case metric tag of the kind.
+func (k eventKind) String() string {
+	switch k {
+	case evNodeFail:
+		return "node_fail"
+	case evDriveFail:
+		return "drive_fail"
+	case evNodeRebuildDone:
+		return "node_rebuild_done"
+	case evDriveRebuildDone:
+		return "drive_rebuild_done"
+	case evRestripeDone:
+		return "restripe_done"
+	case evShock:
+		return "shock"
+	default:
+		return fmt.Sprintf("eventKind(%d)", int(k))
+	}
+}
 
 // event is one scheduled occurrence. The node/drive fields identify the
 // target component; seq disambiguates stale events after state changes.

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"repro/internal/obs"
+
+	"math/rand"
+)
+
+// Metrics bundles the DES's registry handles. A nil *Metrics disables
+// instrumentation at (benchmarked) zero cost: the simulator guards every
+// observation site with one nil check and accumulates per-event tallies
+// locally, flushing them into the atomic registry once per mission.
+type Metrics struct {
+	// Missions counts completed RunUntilLoss trajectories; every one ends
+	// in a data-loss event, broken down by cause below.
+	Missions *obs.Counter
+	// Events counts all simulator events processed.
+	Events *obs.Counter
+	// NodeRebuildHours, DriveRebuildHours and RestripeHours sample the
+	// repair durations drawn for each triggered repair.
+	NodeRebuildHours  *obs.Histogram
+	DriveRebuildHours *obs.Histogram
+	RestripeHours     *obs.Histogram
+	// LossHours samples the simulated time-to-data-loss per mission.
+	LossHours *obs.Histogram
+
+	byKind  [evShock + 1]*obs.Counter
+	byCause [lossCauseCount]*obs.Counter
+}
+
+// NewMetrics registers the simulator's metrics under the "sim." prefix.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		Missions:          reg.Counter("sim.missions"),
+		Events:            reg.Counter("sim.events"),
+		NodeRebuildHours:  reg.Histogram("sim.node_rebuild_hours", obs.ExpBuckets(0.01, 2, 24)),
+		DriveRebuildHours: reg.Histogram("sim.drive_rebuild_hours", obs.ExpBuckets(0.01, 2, 24)),
+		RestripeHours:     reg.Histogram("sim.restripe_hours", obs.ExpBuckets(0.01, 2, 24)),
+		LossHours:         reg.Histogram("sim.loss_hours", obs.ExpBuckets(1, 4, 24)),
+	}
+	for k := evNodeFail; k <= evShock; k++ {
+		m.byKind[k] = reg.Counter("sim.events." + k.String())
+	}
+	for c := LossTolerance; c < lossCauseCount; c++ {
+		m.byCause[c] = reg.Counter("sim.loss." + c.String())
+	}
+	return m
+}
+
+// observeMission folds one completed mission into the registry.
+func (m *Metrics) observeMission(r LossResult) {
+	m.Missions.Inc()
+	m.LossHours.Observe(r.Time)
+	if r.Cause >= LossTolerance && r.Cause < lossCauseCount {
+		m.byCause[r.Cause].Inc()
+	}
+}
+
+// Observer customizes an instrumented simulation run. The zero value
+// disables everything.
+type Observer struct {
+	// Metrics receives event counts, repair-duration samples and
+	// loss-cause tallies (nil = off).
+	Metrics *Metrics
+	// Hook receives one structured "data_loss" event per mission
+	// (nil = off).
+	Hook obs.Hook
+	// OnMission, when non-nil, runs after every completed mission —
+	// progress reporting for long Monte Carlo runs.
+	OnMission func(i int, r LossResult)
+}
+
+// EstimateMTTDLObserved is EstimateMTTDL with instrumentation: identical
+// estimates, plus per-mission telemetry through ob.
+func EstimateMTTDLObserved(sc Scenario, rng *rand.Rand, trials, maxEventsPerTrial int, ob Observer) (Estimate, error) {
+	return estimateMTTDL(sc, rng, trials, maxEventsPerTrial, ob)
+}
+
+// RunUntilLossObserved is RunUntilLoss with metrics collection.
+func RunUntilLossObserved(sc Scenario, rng *rand.Rand, maxEvents int, m *Metrics) (LossResult, error) {
+	return runUntilLoss(sc, rng, maxEvents, m, nil)
+}

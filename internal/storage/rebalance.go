@@ -41,6 +41,11 @@ func (s *System) Rebalance(maxMoves int) (RebalanceStats, error) {
 			break
 		}
 	}
+	if s.metrics != nil {
+		s.metrics.Rebalances.Inc()
+		s.metrics.ShardsMoved.Add(int64(stats.ShardsMoved))
+		s.metrics.RebalanceBytes.Add(stats.BytesMoved)
+	}
 	return stats, nil
 }
 

@@ -57,6 +57,9 @@ func (s *System) InjectLatentFault(n, d int) (string, error) {
 		return "", nil
 	}
 	s.objects[victim].shards[victimShard][0] ^= 0xFF
+	if s.metrics != nil {
+		s.metrics.LatentFaults.Inc()
+	}
 	return victim, nil
 }
 
@@ -79,6 +82,14 @@ func (s *System) Scrub() (ScrubStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var stats ScrubStats
+	defer func() {
+		if s.metrics != nil {
+			s.metrics.Scrubs.Inc()
+			s.metrics.ShardsChecked.Add(int64(stats.ShardsChecked))
+			s.metrics.FaultsRepaired.Add(int64(stats.FaultsRepaired))
+			s.metrics.ScrubObjectsLost.Add(int64(stats.ObjectsLost))
+		}
+	}()
 	for id, obj := range s.objects {
 		if s.lost[id] {
 			continue

@@ -96,6 +96,8 @@ type System struct {
 	objects map[string]*object
 	// lost records object IDs that became unrecoverable.
 	lost map[string]bool
+	// metrics is nil unless SetMetrics attached a bundle.
+	metrics *Metrics
 }
 
 // NewSystem builds an empty system.
@@ -265,6 +267,9 @@ func (s *System) FailNode(n int) error {
 		return fmt.Errorf("storage: node %d out of range", n)
 	}
 	s.nodes[n].failed = true
+	if s.metrics != nil {
+		s.metrics.NodeFailures.Inc()
+	}
 	return nil
 }
 
@@ -279,6 +284,9 @@ func (s *System) FailDrive(n, d int) error {
 		return fmt.Errorf("storage: drive %d out of range on node %d", d, n)
 	}
 	s.nodes[n].drives[d].failed = true
+	if s.metrics != nil {
+		s.metrics.DriveFailures.Inc()
+	}
 	return nil
 }
 
@@ -300,6 +308,14 @@ func (s *System) Rebuild() (RebuildStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var stats RebuildStats
+	defer func() {
+		if s.metrics != nil {
+			s.metrics.Rebuilds.Inc()
+			s.metrics.ShardsRebuilt.Add(int64(stats.ShardsRebuilt))
+			s.metrics.RebuildBytes.Add(stats.BytesMoved)
+			s.metrics.RebuildObjectsLost.Add(int64(stats.ObjectsLost))
+		}
+	}()
 	for id, obj := range s.objects {
 		if s.lost[id] {
 			continue

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -26,6 +27,13 @@ type Policy struct {
 	// keeping the live population constant — the analytic models'
 	// constant-N assumption and the paper's spare-provisioning practice.
 	ReplenishNodes bool
+	// Obs, when non-nil, receives replay telemetry: applied-event counts
+	// by kind under "trace.", plus the storage substrate's rebuild/scrub
+	// metrics (the registry is attached to the system for the replay).
+	Obs *obs.Registry
+	// Hook, when non-nil, receives one structured event per maintenance
+	// pass and per object-losing moment of the replay.
+	Hook obs.Hook
 }
 
 // Report summarizes a replay.
@@ -55,6 +63,14 @@ func Replay(t *Trace, sys *storage.System, policy Policy) (Report, error) {
 			cfg.Nodes, cfg.DrivesPerNode, t.Nodes, t.DrivesPerNode)
 	}
 	var rep Report
+	var applied [EventLatentFault + 1]*obs.Counter
+	if policy.Obs != nil {
+		applied[EventNodeFailure] = policy.Obs.Counter("trace.applied.node")
+		applied[EventDriveFailure] = policy.Obs.Counter("trace.applied.drive")
+		applied[EventLatentFault] = policy.Obs.Counter("trace.applied.latent")
+		sys.SetMetrics(storage.NewMetrics(policy.Obs))
+		defer sys.SetMetrics(nil)
+	}
 	nextScrub := policy.ScrubEveryHours
 	scrubDue := func(now float64) bool {
 		return policy.ScrubEveryHours > 0 && now >= nextScrub
@@ -67,6 +83,7 @@ func Replay(t *Trace, sys *storage.System, policy Policy) (Report, error) {
 		slotToPhys[i] = i
 	}
 	lastFailure := 0.0
+	now := 0.0
 	rebuild := func() error {
 		st, err := sys.Rebuild()
 		if err != nil {
@@ -75,9 +92,17 @@ func Replay(t *Trace, sys *storage.System, policy Policy) (Report, error) {
 		rep.Rebuilds++
 		rep.ShardsRebuilt += st.ShardsRebuilt
 		rep.ObjectsLost += st.ObjectsLost
+		if policy.Hook != nil {
+			policy.Hook.Emit(obs.Event{T: now, Name: "rebuild", Fields: map[string]any{
+				"shards_rebuilt": st.ShardsRebuilt,
+				"bytes_moved":    st.BytesMoved,
+				"objects_lost":   st.ObjectsLost,
+			}})
+		}
 		return nil
 	}
 	for _, e := range t.Events {
+		now = e.Hours
 		if !policy.RebuildAfterEachFailure && policy.RebuildWindowHours > 0 &&
 			e.Hours-lastFailure >= policy.RebuildWindowHours {
 			if err := rebuild(); err != nil {
@@ -92,7 +117,17 @@ func Replay(t *Trace, sys *storage.System, policy Policy) (Report, error) {
 			rep.Scrubs++
 			rep.LatentRepaired += st.FaultsRepaired
 			rep.ObjectsLost += st.ObjectsLost
+			if policy.Hook != nil {
+				policy.Hook.Emit(obs.Event{T: nextScrub, Name: "scrub", Fields: map[string]any{
+					"shards_checked":  st.ShardsChecked,
+					"faults_repaired": st.FaultsRepaired,
+					"objects_lost":    st.ObjectsLost,
+				}})
+			}
 			nextScrub += policy.ScrubEveryHours
+		}
+		if c := applied[e.Kind]; c != nil {
+			c.Inc()
 		}
 		phys := slotToPhys[e.Node]
 		switch e.Kind {
@@ -122,6 +157,7 @@ func Replay(t *Trace, sys *storage.System, policy Policy) (Report, error) {
 			}
 		}
 	}
+	now = t.HorizonHours
 	if !policy.RebuildAfterEachFailure && policy.RebuildWindowHours > 0 &&
 		t.HorizonHours-lastFailure >= policy.RebuildWindowHours {
 		if err := rebuild(); err != nil {
@@ -129,5 +165,11 @@ func Replay(t *Trace, sys *storage.System, policy Policy) (Report, error) {
 		}
 	}
 	rep.UnreadableAtEnd = len(sys.CheckAll())
+	if policy.Hook != nil && (rep.ObjectsLost > 0 || rep.UnreadableAtEnd > 0) {
+		policy.Hook.Emit(obs.Event{T: t.HorizonHours, Name: "data_loss", Fields: map[string]any{
+			"objects_lost":      rep.ObjectsLost,
+			"unreadable_at_end": rep.UnreadableAtEnd,
+		}})
+	}
 	return rep, nil
 }
