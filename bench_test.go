@@ -383,6 +383,84 @@ func BenchmarkTraceGenerateReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateParallel measures the deterministic parallel DES
+// estimator across worker counts (the estimate is bit-identical at every
+// count; only wall-clock changes). Scaling is visible only when
+// GOMAXPROCS exceeds the worker count.
+func BenchmarkEstimateParallel(b *testing.B) {
+	sc := desOverheadScenario()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.EstimateMTTDLParallel(sc, 1, 512, 1_000_000, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures a Section 7 style sweep grid under the
+// core worker pool at several caps.
+func BenchmarkSweepParallel(b *testing.B) {
+	p := params.Baseline()
+	cfgs := core.SensitivityConfigs()
+	xs := []float64{50_000, 100_000, 200_000, 460_000, 700_000, 1_000_000}
+	apply := func(p *params.Parameters, x float64) { p.NodeMTTFHours = x }
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			core.SetMaxWorkers(w)
+			defer core.SetMaxWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Sweep(p, cfgs, core.MethodExactChain, xs, apply); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLUSolveNoAlloc pins the allocation-free solve path: one
+// factorization plus forward and transpose solves per iteration, into
+// caller-owned buffers. allocs/op must be 0.
+func BenchmarkLUSolveNoAlloc(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	m := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := rng.Float64()
+				m.Set(i, j, v)
+				sum += v
+			}
+		}
+		m.Set(i, i, sum+1)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	var f linalg.LU
+	dst := make([]float64, n)
+	work := make([]float64, n)
+	// Warm up so the LU owns its full-size buffers before counting.
+	if err := linalg.FactorizeInto(&f, m); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := linalg.FactorizeInto(&f, m); err != nil {
+			b.Fatal(err)
+		}
+		f.SolveInto(dst, rhs)
+		f.SolveTransposeInto(dst, rhs, work)
+	}
+}
+
 // BenchmarkStorageRebuild measures the distributed rebuild data path.
 func BenchmarkStorageRebuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {

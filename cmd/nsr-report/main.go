@@ -24,7 +24,9 @@ func run() error {
 	trials := flag.Int("trials", 1500, "simulation trials for the model-assumption ablation")
 	asJSON := flag.Bool("json", false, "emit all tables as a JSON document instead of text")
 	csvDir := flag.String("csv-dir", "", "also write each table to <dir>/<id>.csv")
+	workers := flag.Int("workers", 0, "concurrent analyses per sweep (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	flag.Parse()
+	core.SetMaxWorkers(*workers)
 	p := params.Baseline()
 
 	if *asJSON || *csvDir != "" {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/markov"
@@ -29,8 +30,10 @@ func main() {
 
 func run() error {
 	fig := flag.Int("fig", 0, "figure number 14..20 (0 = all)")
+	workers := flag.Int("workers", 0, "concurrent analyses per sweep (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	core.SetMaxWorkers(*workers)
 	sess, err := oflags.Start()
 	if err != nil {
 		return err

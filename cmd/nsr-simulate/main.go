@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/rebuild"
+	"repro/internal/seedstream"
 	"repro/internal/sim"
 )
 
@@ -38,6 +39,7 @@ func run() error {
 	mode := flag.String("mode", "des", "validation mode: des or biased")
 	trials := flag.Int("trials", 2000, "DES trials / 10× biased cycles")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs; 1 = the serial estimator, reproducing earlier releases exactly; >1 uses per-trial seed streams, bit-identical at any worker count)")
 	oflags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	sess, err := oflags.Start()
@@ -56,9 +58,9 @@ func run() error {
 	var runErr error
 	switch *mode {
 	case "des":
-		runErr = runDES(*trials, *seed, sess)
+		runErr = runDES(*trials, *seed, *workers, sess)
 	case "biased":
-		runErr = runBiased(*trials*10, *seed, sess)
+		runErr = runBiased(*trials*10, *seed, *workers, sess)
 	default:
 		runErr = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -71,7 +73,13 @@ func run() error {
 // runDES compares the full-system simulator against exact chain solutions
 // in an accelerated-failure regime (the baseline itself is unreachable by
 // naive simulation).
-func runDES(trials int, seed int64, sess *obs.Session) error {
+//
+// workers == 1 runs the original serial estimator (one RNG shared across
+// every scenario and trial), byte-for-byte compatible with earlier
+// releases. Any other value runs the parallel estimator, whose per-trial
+// seed streams make the output identical at every worker count — a
+// different (equally valid) sample than the serial path draws.
+func runDES(trials int, seed int64, workers int, sess *obs.Session) error {
 	rng := rand.New(rand.NewSource(seed))
 	fmt.Println("Full-system DES vs exact Markov chain (accelerated failures)")
 	fmt.Println("config                         chain MTTDL      DES MTTDL        ratio")
@@ -134,13 +142,21 @@ func runDES(trials int, seed int64, sess *obs.Session) error {
 			obs.ProgressAdd(progress, 1)
 		},
 	}
-	for _, s := range scenarios {
+	for si, s := range scenarios {
 		want, err := markov.MTTA(s.chain)
 		if err != nil {
 			obs.ProgressStop(progress)
 			return err
 		}
-		est, err := sim.EstimateMTTDLObserved(s.sc, rng, trials, 10_000_000, ob)
+		var est sim.Estimate
+		if workers == 1 {
+			est, err = sim.EstimateMTTDLObserved(s.sc, rng, trials, 10_000_000, ob)
+		} else {
+			// Each scenario gets its own base seed from the stream, so
+			// any scenario's run can be reproduced in isolation.
+			est, err = sim.EstimateMTTDLParallelObserved(
+				s.sc, seedstream.Derive(seed, uint64(si)), trials, 10_000_000, workers, ob)
+		}
 		if err != nil {
 			obs.ProgressStop(progress)
 			return err
@@ -155,8 +171,10 @@ func runDES(trials int, seed int64, sess *obs.Session) error {
 }
 
 // runBiased estimates the baseline chains' MTTDL by balanced failure
-// biasing and compares with the dense linear-algebra solution.
-func runBiased(cycles int, seed int64, sess *obs.Session) error {
+// biasing and compares with the dense linear-algebra solution. Worker
+// semantics match runDES: 1 = legacy serial sample, otherwise the
+// worker-count-independent parallel estimator.
+func runBiased(cycles int, seed int64, workers int, sess *obs.Session) error {
 	rng := rand.New(rand.NewSource(seed))
 	p := params.Baseline()
 	fmt.Println("Balanced-failure-biasing estimator vs dense LU solution (baseline chains)")
@@ -165,7 +183,7 @@ func runBiased(cycles int, seed int64, sess *obs.Session) error {
 	configs := core.SensitivityConfigs()
 	progress := sess.Progress("configs", int64(len(configs)), nil)
 	defer obs.ProgressStop(progress)
-	for _, cfg := range configs {
+	for ci, cfg := range configs {
 		ch, err := buildChain(p, cfg)
 		if err != nil {
 			return err
@@ -174,7 +192,13 @@ func runBiased(cycles int, seed int64, sess *obs.Session) error {
 		if err != nil {
 			return err
 		}
-		est, err := sim.EstimateMTTABiased(ch, rng, cycles, 0.5, sim.RepairThreshold(ch))
+		var est sim.BiasedEstimate
+		if workers == 1 {
+			est, err = sim.EstimateMTTABiased(ch, rng, cycles, 0.5, sim.RepairThreshold(ch))
+		} else {
+			est, err = sim.EstimateMTTABiasedParallel(
+				ch, seedstream.Derive(seed, uint64(ci)), cycles, 0.5, sim.RepairThreshold(ch), workers)
+		}
 		if err != nil {
 			return err
 		}

@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/params"
+	"repro/internal/seedstream"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -39,7 +42,8 @@ var (
 	nodes     = flag.Int("nodes", 16, "nodes")
 	drives    = flag.Int("drives", 4, "drives per node")
 	years     = flag.Float64("years", 5, "mission length in years")
-	seed      = flag.Int64("seed", 1, "generation seed (-montecarlo uses seed..seed+N-1)")
+	seed      = flag.Int64("seed", 1, "generation seed (-montecarlo derives trace s's seed from a splitmix64 stream over (seed, s), so traces are reproducible individually and independent even for adjacent base seeds)")
+	workers   = flag.Int("workers", 0, "concurrent trace replays for -montecarlo (0 = all CPUs; results are identical at any setting)")
 	oflags    *obs.Flags
 	nodeMTTF  = flag.Float64("node-mttf", 400_000, "node MTTF (hours)")
 	driveMTTF = flag.Float64("drive-mttf", 300_000, "drive MTTF (hours)")
@@ -177,22 +181,22 @@ func runReplay(path string, sess *obs.Session) error {
 func runMonteCarlo(n int, sess *obs.Session) error {
 	// The status closure runs on the progress goroutine, so the tally is
 	// atomic.
-	var lossTraces atomic.Int64
-	var totalEvents int
+	var lossTraces, totalEvents atomic.Int64
 	progress := sess.Progress("traces", int64(n), func() string {
 		return fmt.Sprintf("%d with data loss", lossTraces.Load())
 	})
-	for s := 0; s < n; s++ {
-		// Seeds are offsets from -seed, so any single trace can be
-		// regenerated from the printed base seed alone.
-		tr, err := trace.Generate(options(*seed + int64(s)))
+	// Trace s is generated from seedstream.Derive(*seed, s): a pure
+	// function of the base seed and the index, so each trace can be
+	// regenerated in isolation and the aggregate tallies are identical at
+	// any worker count. The registry, JSONL sink and progress counter are
+	// all concurrency-safe.
+	runTrace := func(s int) error {
+		tr, err := trace.Generate(options(seedstream.Derive(*seed, uint64(s))))
 		if err != nil {
-			obs.ProgressStop(progress)
 			return err
 		}
 		sys, err := newStore()
 		if err != nil {
-			obs.ProgressStop(progress)
 			return err
 		}
 		rep, err := trace.Replay(tr, sys, trace.Policy{
@@ -202,19 +206,79 @@ func runMonteCarlo(n int, sess *obs.Session) error {
 			Hook:                    sess.Hook(),
 		})
 		if err != nil {
-			obs.ProgressStop(progress)
 			return err
 		}
-		totalEvents += rep.EventsApplied
+		totalEvents.Add(int64(rep.EventsApplied))
 		if rep.UnreadableAtEnd > 0 || rep.ObjectsLost > 0 {
 			lossTraces.Add(1)
 		}
 		obs.ProgressAdd(progress, 1)
+		return nil
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	var err error
+	if w <= 1 {
+		for s := 0; s < n && err == nil; s++ {
+			if e := runTrace(s); e != nil {
+				err = fmt.Errorf("trace %d: %w", s, e)
+			}
+		}
+	} else {
+		// Bounded pool reporting the error of the lowest failing trace,
+		// so failures too are deterministic across worker counts.
+		var (
+			next     atomic.Int64
+			failed   atomic.Bool
+			mu       sync.Mutex
+			firstErr error
+			firstIdx = n
+		)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= n {
+						return
+					}
+					if failed.Load() {
+						mu.Lock()
+						skip := s > firstIdx
+						mu.Unlock()
+						if skip {
+							continue
+						}
+					}
+					if err := runTrace(s); err != nil {
+						mu.Lock()
+						if s < firstIdx {
+							firstIdx = s
+							firstErr = fmt.Errorf("trace %d: %w", s, err)
+						}
+						mu.Unlock()
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		err = firstErr
 	}
 	obs.ProgressStop(progress)
+	if err != nil {
+		return err
+	}
 	lost := lossTraces.Load()
-	fmt.Printf("%d traces × %.1f years (%d nodes × %d drives, FT %d, seeds %d..%d): %d with data loss (%.2f%%), %.1f events/trace\n",
-		n, *years, *nodes, *drives, *ft, *seed, *seed+int64(n)-1, lost,
-		100*float64(lost)/float64(n), float64(totalEvents)/float64(n))
+	fmt.Printf("%d traces × %.1f years (%d nodes × %d drives, FT %d, base seed %d): %d with data loss (%.2f%%), %.1f events/trace\n",
+		n, *years, *nodes, *drives, *ft, *seed, lost,
+		100*float64(lost)/float64(n), float64(totalEvents.Load())/float64(n))
 	return nil
 }

@@ -178,15 +178,22 @@ func LogicalCapacityPB(p params.Parameters, cfg Config) float64 {
 	return p.RawSystemBytes() * (r - t) / r * (d - m) / d * p.CapacityUtilization / params.PB
 }
 
-// AnalyzeAll runs Analyze for each configuration, preserving order.
+// AnalyzeAll runs Analyze for each configuration, preserving order. The
+// configurations are analyzed on a worker pool bounded by SetMaxWorkers;
+// results and first-error semantics are identical to the serial loop at
+// any worker count.
 func AnalyzeAll(p params.Parameters, cfgs []Config, method Method) ([]Result, error) {
-	out := make([]Result, 0, len(cfgs))
-	for _, cfg := range cfgs {
-		r, err := Analyze(p, cfg, method)
+	out := make([]Result, len(cfgs))
+	err := runIndexed(len(cfgs), func(i int) error {
+		r, err := Analyze(p, cfgs[i], method)
 		if err != nil {
-			return nil, fmt.Errorf("core: %v: %w", cfg, err)
+			return fmt.Errorf("core: %v: %w", cfgs[i], err)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

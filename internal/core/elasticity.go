@@ -55,23 +55,31 @@ func Elasticities(p params.Parameters, cfg Config, method Method, step float64) 
 	if base.EventsPerPBYear <= 0 {
 		return nil, fmt.Errorf("core: non-positive base metric")
 	}
-	out := make([]Elasticity, 0, len(elasticityKnobs()))
-	for _, knob := range elasticityKnobs() {
+	// Each knob needs two independent analyses; fan the knobs across the
+	// SetMaxWorkers pool (order-preserving, first-error by knob index).
+	knobs := elasticityKnobs()
+	out := make([]Elasticity, len(knobs))
+	err = runIndexed(len(knobs), func(i int) error {
+		knob := knobs[i]
 		up := p
 		knob.scale(&up, 1+step)
 		down := p
 		knob.scale(&down, 1-step)
 		rUp, err := Analyze(up, cfg, method)
 		if err != nil {
-			return nil, fmt.Errorf("core: elasticity of %s (+): %w", knob.name, err)
+			return fmt.Errorf("core: elasticity of %s (+): %w", knob.name, err)
 		}
 		rDown, err := Analyze(down, cfg, method)
 		if err != nil {
-			return nil, fmt.Errorf("core: elasticity of %s (-): %w", knob.name, err)
+			return fmt.Errorf("core: elasticity of %s (-): %w", knob.name, err)
 		}
 		e := (math.Log(rUp.EventsPerPBYear) - math.Log(rDown.EventsPerPBYear)) /
 			(math.Log(1+step) - math.Log(1-step))
-		out = append(out, Elasticity{Parameter: knob.name, Value: e})
+		out[i] = Elasticity{Parameter: knob.name, Value: e}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

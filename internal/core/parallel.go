@@ -1,0 +1,103 @@
+package core
+
+// Bounded parallel execution for the analysis layer. Every analysis is a
+// pure function of its inputs (the model packages hold no mutable
+// package state, and solver instrumentation is atomic), so fanning a
+// sweep's grid points or a configuration list across workers changes
+// wall-clock time and nothing else: results are written into
+// caller-indexed slots, the reduction is by index, and the first-error
+// semantics of the serial loops are preserved by reporting the error of
+// the lowest failing index.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCeiling holds the package-wide worker cap set by SetMaxWorkers
+// (0 = default runtime.NumCPU()).
+var workerCeiling atomic.Int64
+
+// SetMaxWorkers caps the number of concurrent analyses Sweep, AnalyzeAll
+// and Elasticities may run. n <= 0 restores the default,
+// runtime.NumCPU(). 1 forces the serial path. The cap is process-wide;
+// results are identical at any setting.
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCeiling.Store(int64(n))
+}
+
+// MaxWorkers returns the effective worker cap.
+func MaxWorkers() int {
+	if n := int(workerCeiling.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// runIndexed evaluates fn(0), …, fn(n-1) on a bounded worker pool and
+// returns the error of the lowest failing index (nil if all succeed).
+// fn must be safe to call concurrently and should write its result into
+// a caller-owned slot for index i; slots for indices at or above a
+// failing index may be left unwritten. With one worker (or one item) it
+// degenerates to the plain serial loop, returning on the first error.
+func runIndexed(n int, fn func(i int) error) error {
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// After a failure, indices above the current first
+				// failure are moot — but anything below it must still
+				// run, or a later-indexed failure could mask the true
+				// first error and make the result schedule-dependent.
+				if failed.Load() {
+					mu.Lock()
+					skip := i > firstIdx
+					mu.Unlock()
+					if skip {
+						continue
+					}
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx = i
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -21,6 +21,13 @@ type SweepPoint struct {
 // else at base, and analyzes each configuration at each point — the shape
 // of the paper's Section 7 sensitivity analyses. apply installs a value
 // into a copy of the base parameters.
+//
+// The (point, configuration) grid is analyzed on a worker pool bounded
+// by SetMaxWorkers. Each analysis is a pure function written into its
+// own output slot, so output order and values are identical to the
+// serial loop at any worker count; on failure the error of the earliest
+// grid cell (sweep order, then configuration order) is returned, exactly
+// as the serial loop would have reported it.
 func Sweep(base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64)) ([]SweepPoint, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: empty sweep")
@@ -28,15 +35,25 @@ func Sweep(base params.Parameters, cfgs []Config, method Method, xs []float64, a
 	if apply == nil {
 		return nil, fmt.Errorf("core: nil apply function")
 	}
-	out := make([]SweepPoint, 0, len(xs))
-	for _, x := range xs {
+	out := make([]SweepPoint, len(xs))
+	for i, x := range xs {
+		out[i] = SweepPoint{X: x, Results: make([]Result, len(cfgs))}
+	}
+	// Flatten to (point, configuration) cells: finer-grained than
+	// fanning out whole points, and it avoids nested pools.
+	err := runIndexed(len(xs)*len(cfgs), func(cell int) error {
+		xi, ci := cell/len(cfgs), cell%len(cfgs)
 		p := base
-		apply(&p, x)
-		results, err := AnalyzeAll(p, cfgs, method)
+		apply(&p, xs[xi])
+		r, err := Analyze(p, cfgs[ci], method)
 		if err != nil {
-			return nil, fmt.Errorf("core: sweep at x=%v: %w", x, err)
+			return fmt.Errorf("core: sweep at x=%v: %w", xs[xi], fmt.Errorf("core: %v: %w", cfgs[ci], err))
 		}
-		out = append(out, SweepPoint{X: x, Results: results})
+		out[xi].Results[ci] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

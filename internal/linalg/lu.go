@@ -27,9 +27,20 @@ func Factorize(a *Matrix) (*LU, error) {
 		panic(fmt.Sprintf("linalg: Factorize requires a square matrix, got %dx%d", a.rows, a.cols))
 	}
 	start := factorizeStart()
-	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	f := &LU{lu: a.Clone(), piv: make([]int, a.rows)}
+	if err := f.eliminate(); err != nil {
+		return nil, err
+	}
+	factorizeDone(start, f)
+	return f, nil
+}
+
+// eliminate runs Doolittle elimination with partial pivoting in place on
+// f.lu, filling f.piv and f.sign. It is the shared kernel of Factorize
+// and FactorizeInto.
+func (f *LU) eliminate() error {
+	lu, piv := f.lu, f.piv
+	n := lu.rows
 	for i := range piv {
 		piv[i] = i
 	}
@@ -45,7 +56,7 @@ func Factorize(a *Matrix) (*LU, error) {
 			}
 		}
 		if max == 0 {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {
 			rowP := lu.data[p*n : (p+1)*n]
@@ -70,9 +81,8 @@ func Factorize(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	f := &LU{lu: lu, piv: piv, sign: sign}
-	factorizeDone(start, f)
-	return f, nil
+	f.sign = sign
+	return nil
 }
 
 // N returns the dimension of the factorized matrix.

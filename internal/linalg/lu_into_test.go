@@ -1,0 +1,168 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testMatrix returns a deterministic, well-conditioned n×n matrix.
+func testMatrix(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rng.Float64() - 0.5
+			if i == j {
+				v += float64(n) // diagonally dominant
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+func testVector(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Float64() - 0.5
+	}
+	return b
+}
+
+func TestFactorizeIntoMatchesFactorize(t *testing.T) {
+	var f LU
+	// Reuse the same LU across shrinking and growing dimensions.
+	for _, n := range []int{7, 3, 12, 12, 5} {
+		a := testMatrix(n, int64(n))
+		want, err := Factorize(a)
+		if err != nil {
+			t.Fatalf("n=%d: Factorize: %v", n, err)
+		}
+		if err := FactorizeInto(&f, a); err != nil {
+			t.Fatalf("n=%d: FactorizeInto: %v", n, err)
+		}
+		b := testVector(n, int64(100+n))
+		got := make([]float64, n)
+		f.SolveInto(got, b)
+		ref := want.Solve(b)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("n=%d: SolveInto[%d] = %g, Solve = %g", n, i, got[i], ref[i])
+			}
+		}
+		if f.Det() != want.Det() {
+			t.Errorf("n=%d: Det %g vs %g", n, f.Det(), want.Det())
+		}
+	}
+}
+
+func TestFactorizeIntoSingular(t *testing.T) {
+	var f LU
+	if err := FactorizeInto(&f, New(3, 3)); err == nil {
+		t.Fatal("zero matrix factorized")
+	}
+}
+
+func TestSolveTransposeIntoMatchesSolveTranspose(t *testing.T) {
+	const n = 9
+	a := testMatrix(n, 42)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testVector(n, 43)
+	ref := f.SolveTranspose(b)
+	dst := make([]float64, n)
+	work := make([]float64, n)
+	f.SolveTransposeInto(dst, b, work)
+	for i := range ref {
+		if dst[i] != ref[i] {
+			t.Fatalf("SolveTransposeInto[%d] = %g, SolveTranspose = %g", i, dst[i], ref[i])
+		}
+	}
+	// dst aliasing b is documented as safe.
+	bCopy := append([]float64(nil), b...)
+	f.SolveTransposeInto(bCopy, bCopy, work)
+	for i := range ref {
+		if bCopy[i] != ref[i] {
+			t.Fatalf("aliased SolveTransposeInto[%d] = %g, want %g", i, bCopy[i], ref[i])
+		}
+	}
+}
+
+func TestSolveIntoAliasPanics(t *testing.T) {
+	a := testMatrix(4, 1)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testVector(4, 2)
+	assertPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("SolveInto aliased", func() { f.SolveInto(b, b) })
+	assertPanic("SolveTransposeInto dst=work", func() {
+		dst := make([]float64, 4)
+		f.SolveTransposeInto(dst, b, dst)
+	})
+	assertPanic("SolveInto short dst", func() { f.SolveInto(make([]float64, 3), b) })
+}
+
+// TestSolveIntoZeroAlloc pins the allocation-free contract of the reuse
+// layer: after warmup, factorize + both solves allocate nothing.
+func TestSolveIntoZeroAlloc(t *testing.T) {
+	const n = 15
+	a := testMatrix(n, 7)
+	var f LU
+	if err := FactorizeInto(&f, a); err != nil {
+		t.Fatal(err)
+	}
+	b := testVector(n, 8)
+	dst := make([]float64, n)
+	work := make([]float64, n)
+
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := FactorizeInto(&f, a); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("FactorizeInto allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { f.SolveInto(dst, b) }); avg != 0 {
+		t.Errorf("SolveInto allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { f.SolveTransposeInto(dst, b, work) }); avg != 0 {
+		t.Errorf("SolveTransposeInto allocates %v per run, want 0", avg)
+	}
+}
+
+func TestReshape(t *testing.T) {
+	m := New(4, 5)
+	m.Set(2, 3, 9)
+	data := &m.data[0]
+	m.Reshape(2, 2)
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %g after Reshape, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+	if &m.data[0] != data {
+		t.Error("Reshape smaller reallocated backing storage")
+	}
+	m.Reshape(10, 10) // grows
+	if m.Rows() != 10 || len(m.data) != 100 {
+		t.Fatalf("grown shape wrong")
+	}
+}

@@ -92,6 +92,27 @@ func (m *Matrix) boundsCheck(i, j int) {
 	}
 }
 
+// Reshape resizes m to rows×cols and zero-fills it, reusing the backing
+// storage when it has capacity. It returns m. Buffers held across
+// repeated model builds (e.g. absorption matrices in a sweep) can be
+// recycled this way without reallocating.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = rows, cols
+	return m
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	out := New(m.rows, m.cols)

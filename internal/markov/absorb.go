@@ -2,6 +2,7 @@ package markov
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -93,11 +94,19 @@ func absorptionResidual(r *linalg.Matrix, tau []float64, initRow int) float64 {
 	return worst
 }
 
-// MTTA is a convenience wrapper returning only the mean time to absorption.
+// solverPool recycles Solvers (and their matrix/vector storage) across
+// MTTA calls. Parallel sweeps call MTTA from many goroutines; each call
+// borrows a private Solver, so no locking beyond the pool's own.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+// MTTA is a convenience wrapper returning only the mean time to
+// absorption. It solves through a pooled Solver, so repeated calls (the
+// inner loop of every sweep) reuse factorization and scratch storage
+// instead of reallocating; the value is bit-identical to
+// Absorption(c).MeanTimeToAbsorption.
 func MTTA(c *Chain) (float64, error) {
-	res, err := Absorption(c)
-	if err != nil {
-		return 0, err
-	}
-	return res.MeanTimeToAbsorption, nil
+	s := solverPool.Get().(*Solver)
+	v, err := s.MTTA(c)
+	solverPool.Put(s)
+	return v, err
 }

@@ -113,11 +113,12 @@ func (c *Chain) IsAbsorbing(i int) bool { return c.absorbing[i] }
 // Rate returns the transition rate from state i to state j (0 if no edge).
 func (c *Chain) Rate(i, j int) float64 { return c.rates[i][j] }
 
-// ExitRate returns the total outgoing rate of state i.
+// ExitRate returns the total outgoing rate of state i. Edges are summed
+// in target-index order so the floating-point result is reproducible.
 func (c *Chain) ExitRate(i int) float64 {
 	var s float64
-	for _, r := range c.rates[i] {
-		s += r
+	for _, e := range c.Successors(i) {
+		s += e.Rate
 	}
 	return s
 }
@@ -216,10 +217,13 @@ func (c *Chain) Generator() *linalg.Matrix {
 	n := len(c.names)
 	q := linalg.New(n, n)
 	for i := 0; i < n; i++ {
+		// Successors iterates edges in target order: the exit-rate sum
+		// (and so the whole matrix) is bit-reproducible across runs,
+		// which the deterministic parallel layer depends on.
 		var exit float64
-		for to, r := range c.rates[i] {
-			q.Set(i, to, r)
-			exit += r
+		for _, e := range c.Successors(i) {
+			q.Set(i, e.To, e.Rate)
+			exit += e.Rate
 		}
 		q.Set(i, i, -exit)
 	}
@@ -238,11 +242,15 @@ func (c *Chain) AbsorptionMatrix() (*linalg.Matrix, []int, int) {
 	}
 	r := linalg.New(len(trans), len(trans))
 	for row, s := range trans {
+		// Sorted edge order keeps the exit-rate summation (and so R)
+		// bit-reproducible across runs; map order would perturb the
+		// diagonal by ulps and make "identical inputs, identical
+		// results" unprovable.
 		var exit float64
-		for to, rate := range c.rates[s] {
-			exit += rate
-			if col, ok := pos[to]; ok {
-				r.Set(row, col, -rate)
+		for _, e := range c.Successors(s) {
+			exit += e.Rate
+			if col, ok := pos[e.To]; ok {
+				r.Set(row, col, -e.Rate)
 			}
 		}
 		r.Set(row, row, r.At(row, row)+exit)

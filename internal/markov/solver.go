@@ -1,0 +1,128 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Solver computes mean times to absorption like Absorption, but owns all
+// intermediate storage — the absorption matrix, the LU factorization,
+// the transient-state maps, and the solve vectors — and reuses it across
+// calls. Analysis sweeps and exact-chain Monte Carlo paths solve
+// thousands of identically shaped chains; after the first call a Solver
+// performs the whole analysis without heap allocation (buffers grow
+// monotonically to the largest chain seen).
+//
+// Results are bit-identical to Absorption's MeanTimeToAbsorption: the
+// matrix assembly order, factorization, and substitution arithmetic are
+// the same code paths.
+//
+// A Solver is not safe for concurrent use; give each goroutine its own
+// (see the pooled package-level MTTA).
+type Solver struct {
+	r              *linalg.Matrix
+	f              linalg.LU
+	trans          []int
+	pos            []int // state index → transient row, -1 for absorbing
+	edges          []Edge
+	rhs, tau, work []float64
+}
+
+// NewSolver returns an empty Solver; buffers are sized on first use.
+func NewSolver() *Solver {
+	return &Solver{r: linalg.New(0, 0)}
+}
+
+// successorsInto fills the solver's edge buffer with state i's outgoing
+// edges sorted by target index — the same deterministic order as
+// Chain.Successors, without the per-call allocation. Insertion sort:
+// state degrees in the reliability chains are a handful at most.
+func (s *Solver) successorsInto(c *Chain, i int) []Edge {
+	s.edges = s.edges[:0]
+	for to, r := range c.rates[i] {
+		s.edges = append(s.edges, Edge{To: to, Rate: r})
+	}
+	for a := 1; a < len(s.edges); a++ {
+		e := s.edges[a]
+		b := a - 1
+		for b >= 0 && s.edges[b].To > e.To {
+			s.edges[b+1] = s.edges[b]
+			b--
+		}
+		s.edges[b+1] = e
+	}
+	return s.edges
+}
+
+// absorptionMatrixInto rebuilds R = -Q_B into the solver's reused matrix
+// and index buffers, returning the initial state's row (-1 if the
+// initial state is absorbing). Matches Chain.AbsorptionMatrix entry for
+// entry.
+func (s *Solver) absorptionMatrixInto(c *Chain) int {
+	n := c.NumStates()
+	if cap(s.pos) < n {
+		s.pos = make([]int, n)
+	} else {
+		s.pos = s.pos[:n]
+	}
+	s.trans = s.trans[:0]
+	for i := 0; i < n; i++ {
+		if c.absorbing[i] {
+			s.pos[i] = -1
+		} else {
+			s.pos[i] = len(s.trans)
+			s.trans = append(s.trans, i)
+		}
+	}
+	s.r.Reshape(len(s.trans), len(s.trans))
+	for row, st := range s.trans {
+		var exit float64
+		for _, e := range s.successorsInto(c, st) {
+			exit += e.Rate
+			if col := s.pos[e.To]; col >= 0 {
+				s.r.Set(row, col, -e.Rate)
+			}
+		}
+		s.r.Set(row, row, s.r.At(row, row)+exit)
+	}
+	return s.pos[c.initial]
+}
+
+func resizeFloats(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+// MTTA returns the chain's mean time to absorption, reusing the solver's
+// storage. It returns an error if the chain fails Validate or the
+// absorption matrix is singular.
+func (s *Solver) MTTA(c *Chain) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	initRow := s.absorptionMatrixInto(c)
+	if initRow < 0 {
+		return 0, nil // initial state is absorbing
+	}
+	timer := absorptionTimer(c.NumStates())
+	if err := linalg.FactorizeInto(&s.f, s.r); err != nil {
+		return 0, fmt.Errorf("markov: absorption matrix: %w", err)
+	}
+	m := len(s.trans)
+	s.rhs = resizeFloats(s.rhs, m)
+	s.tau = resizeFloats(s.tau, m)
+	s.work = resizeFloats(s.work, m)
+	for i := range s.rhs {
+		s.rhs[i] = 0
+	}
+	s.rhs[initRow] = 1
+	// τ_B = π_B(0)·R⁻¹ means Rᵀ·τ = π_B(0).
+	s.f.SolveTransposeInto(s.tau, s.rhs, s.work)
+	if timer != nil {
+		timer(absorptionResidual(s.r, s.tau, initRow))
+	}
+	return linalg.Sum(s.tau), nil
+}

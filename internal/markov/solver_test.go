@@ -1,0 +1,97 @@
+package markov
+
+import "testing"
+
+// solverTestChain builds a small repairable chain with f failure scale.
+func solverTestChain(f float64) *Chain {
+	c := NewChain()
+	c.SetInitial("up")
+	c.SetAbsorbing("lost")
+	c.AddRate("up", "degraded", 1e-3*f)
+	c.AddRate("degraded", "up", 0.5)
+	c.AddRate("degraded", "critical", 2e-3*f)
+	c.AddRate("critical", "degraded", 0.25)
+	c.AddRate("critical", "lost", 5e-3*f)
+	return c
+}
+
+// TestSolverMatchesAbsorption pins the bit-identity contract: a reused
+// Solver and the one-shot Absorption path produce the same MTTA, across
+// chains of different sizes through the same Solver instance.
+func TestSolverMatchesAbsorption(t *testing.T) {
+	s := NewSolver()
+	chains := []*Chain{
+		solverTestChain(1),
+		solverTestChain(7.5),
+		bigSolverChain(12),
+		solverTestChain(0.2),
+	}
+	for i, c := range chains {
+		res, err := Absorption(c)
+		if err != nil {
+			t.Fatalf("chain %d: Absorption: %v", i, err)
+		}
+		got, err := s.MTTA(c)
+		if err != nil {
+			t.Fatalf("chain %d: Solver.MTTA: %v", i, err)
+		}
+		if got != res.MeanTimeToAbsorption {
+			t.Errorf("chain %d: Solver.MTTA = %g, Absorption = %g", i, got, res.MeanTimeToAbsorption)
+		}
+		pooled, err := MTTA(c)
+		if err != nil {
+			t.Fatalf("chain %d: MTTA: %v", i, err)
+		}
+		if pooled != got {
+			t.Errorf("chain %d: pooled MTTA = %g, Solver = %g", i, pooled, got)
+		}
+	}
+}
+
+// bigSolverChain is a birth-death chain with n transient states, to
+// exercise Solver buffer growth and shrink across calls.
+func bigSolverChain(n int) *Chain {
+	c := NewChain()
+	name := func(i int) string { return string(rune('a' + i)) }
+	c.SetInitial(name(0))
+	c.SetAbsorbing("lost")
+	for i := 0; i < n; i++ {
+		next := "lost"
+		if i < n-1 {
+			next = name(i + 1)
+		}
+		c.AddRate(name(i), next, 1e-2/float64(i+1))
+		if i > 0 {
+			c.AddRate(name(i), name(i-1), 1.0)
+		}
+	}
+	return c
+}
+
+func TestSolverAbsorbingInitial(t *testing.T) {
+	c := NewChain()
+	c.SetAbsorbing("lost")
+	c.SetInitial("lost")
+	c.AddRate("up", "lost", 1) // make the chain non-trivial
+	s := NewSolver()
+	got, err := s.MTTA(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("MTTA from absorbing initial = %g, want 0", got)
+	}
+}
+
+func TestSolverSingular(t *testing.T) {
+	// Two transient states feeding each other with no path to absorption
+	// fail Validate (unreachable absorption), so use a chain whose
+	// absorption matrix is singular through scaling: not constructible
+	// with positive exit rates — instead check Validate propagation.
+	c := NewChain()
+	c.SetInitial("up")
+	s := NewSolver()
+	if _, err := s.MTTA(c); err == nil {
+		t.Fatal("invalid chain solved")
+	}
+}

@@ -1,0 +1,34 @@
+// Package seedstream derives independent, reproducible RNG seeds from a
+// single base seed, so embarrassingly parallel Monte Carlo runs (worker
+// pools over missions, sweeps over traces) can give every unit of work
+// its own stream without any sequential RNG hand-off.
+//
+// The derivation is the splitmix64 output function applied at
+// base + (index+1)·γ, where γ is the 64-bit golden-ratio increment. This
+// is the standard SplitMix construction (Steele, Lea & Flood, OOPSLA'14):
+// consecutive indices land a full avalanche apart, and — unlike the naive
+// seed, seed+1, …, seed+N-1 scheme — two runs whose base seeds differ by
+// less than N cannot share any derived stream, because the mix decouples
+// (base, index) pairs rather than adding them.
+package seedstream
+
+// golden is 2^64 / φ rounded to odd — the Weyl increment used by
+// splitmix64 to space successive states.
+const golden = 0x9E3779B97F4A7C15
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche on 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Derive returns the seed of stream index under base. It is a pure
+// function: Derive(base, i) is the i-th output of a splitmix64 generator
+// seeded with base, computed in O(1) without stepping through the first
+// i-1 outputs. Distinct (base, index) pairs at the same base always give
+// distinct seeds (the finalizer is a bijection of the distinct states
+// base + (index+1)·γ).
+func Derive(base int64, index uint64) int64 {
+	return int64(mix64(uint64(base) + (index+1)*golden))
+}

@@ -99,58 +99,105 @@ func EstimateMTTABiased(c *markov.Chain, rng *rand.Rand, cycles int, delta, repa
 		return BiasedEstimate{MTTA: 0, Cycles: cycles, CycleLossProbability: 1}, nil
 	}
 
-	// Precompute per-state sampling plans.
+	plans := buildBiasPlans(c, delta, repairThreshold)
+	var sums biasedSums
+	for n := 0; n < cycles; n++ {
+		x, y, err := runBiasedCycle(c, plans, init, rng)
+		if err != nil {
+			return BiasedEstimate{}, err
+		}
+		sums.add(x, y)
+	}
+	return sums.estimate()
+}
+
+// buildBiasPlans precomputes the per-state sampling plans. The plans are
+// read-only after construction and safe to share across worker
+// goroutines.
+func buildBiasPlans(c *markov.Chain, delta, repairThreshold float64) []biasPlan {
+	init := c.Initial()
 	plans := make([]biasPlan, c.NumStates())
 	for i := 0; i < c.NumStates(); i++ {
 		if !c.IsAbsorbing(i) {
 			plans[i] = newBiasPlan(c, i, i == init, delta, repairThreshold)
 		}
 	}
+	return plans
+}
 
+// runBiasedCycle simulates one regenerative cycle, returning the weighted
+// cycle length x and the weighted absorption indicator y.
+func runBiasedCycle(c *markov.Chain, plans []biasPlan, init int, rng *rand.Rand) (x, y float64, err error) {
 	const maxSteps = 10_000_000
-	var sumX, sumY, sumXX, sumYY, sumXY float64
-	for n := 0; n < cycles; n++ {
-		state := init
-		w := 1.0
-		l := 0.0
-		absorbed := false
-		for step := 0; ; step++ {
-			if step >= maxSteps {
-				return BiasedEstimate{}, fmt.Errorf("sim: cycle exceeded %d steps; biasing parameters unsuitable", maxSteps)
-			}
-			l += plans[state].meanHold
-			next, ratio := plans[state].sample(rng)
-			w *= ratio
-			if c.IsAbsorbing(next) {
-				absorbed = true
-				break
-			}
-			if next == init {
-				break
-			}
-			state = next
+	state := init
+	w := 1.0
+	l := 0.0
+	absorbed := false
+	for step := 0; ; step++ {
+		if step >= maxSteps {
+			return 0, 0, fmt.Errorf("sim: cycle exceeded %d steps; biasing parameters unsuitable", maxSteps)
 		}
-		x := w * l // weighted cycle length
-		y := 0.0   // weighted absorption indicator
-		if absorbed {
-			y = w
+		l += plans[state].meanHold
+		next, ratio := plans[state].sample(rng)
+		w *= ratio
+		if c.IsAbsorbing(next) {
+			absorbed = true
+			break
 		}
-		sumX += x
-		sumY += y
-		sumXX += x * x
-		sumYY += y * y
-		sumXY += x * y
+		if next == init {
+			break
+		}
+		state = next
 	}
-	nf := float64(cycles)
-	meanX, meanY := sumX/nf, sumY/nf
+	x = w * l
+	if absorbed {
+		y = w
+	}
+	return x, y, nil
+}
+
+// biasedSums accumulates the ratio-estimator moments. Sums of independent
+// per-cycle terms are exact under any grouping; folding per-chunk sums in
+// a fixed chunk order makes the parallel estimator's floating-point
+// result independent of the worker count.
+type biasedSums struct {
+	x, y, xx, yy, xy float64
+	n                int
+}
+
+// add folds one cycle's (x, y) in.
+func (s *biasedSums) add(x, y float64) {
+	s.x += x
+	s.y += y
+	s.xx += x * x
+	s.yy += y * y
+	s.xy += x * y
+	s.n++
+}
+
+// merge folds another accumulator in (plain sum composition).
+func (s *biasedSums) merge(o biasedSums) {
+	s.x += o.x
+	s.y += o.y
+	s.xx += o.xx
+	s.yy += o.yy
+	s.xy += o.xy
+	s.n += o.n
+}
+
+// estimate finalizes the delta-method ratio estimator over the
+// accumulated cycles.
+func (s biasedSums) estimate() (BiasedEstimate, error) {
+	nf := float64(s.n)
+	meanX, meanY := s.x/nf, s.y/nf
 	if meanY == 0 {
-		return BiasedEstimate{}, fmt.Errorf("sim: no absorbing cycles observed in %d cycles; increase cycles or delta", cycles)
+		return BiasedEstimate{}, fmt.Errorf("sim: no absorbing cycles observed in %d cycles; increase cycles or delta", s.n)
 	}
 	mtta := meanX / meanY
 	// Delta-method variance of the ratio estimator.
-	varX := (sumXX - nf*meanX*meanX) / (nf - 1)
-	varY := (sumYY - nf*meanY*meanY) / (nf - 1)
-	covXY := (sumXY - nf*meanX*meanY) / (nf - 1)
+	varX := (s.xx - nf*meanX*meanX) / (nf - 1)
+	varY := (s.yy - nf*meanY*meanY) / (nf - 1)
+	covXY := (s.xy - nf*meanX*meanY) / (nf - 1)
 	varR := (varX - 2*mtta*covXY + mtta*mtta*varY) / (meanY * meanY)
 	se := 0.0
 	if varR > 0 {
@@ -159,7 +206,7 @@ func EstimateMTTABiased(c *markov.Chain, rng *rand.Rand, cycles int, delta, repa
 	return BiasedEstimate{
 		MTTA:                 mtta,
 		StdErr:               se,
-		Cycles:               cycles,
+		Cycles:               s.n,
 		CycleLossProbability: meanY,
 	}, nil
 }

@@ -593,7 +593,10 @@ func estimateMTTDL(sc Scenario, rng *rand.Rand, trials, maxEventsPerTrial int, o
 	if trials < 2 {
 		return Estimate{}, fmt.Errorf("sim: need at least 2 trials, got %d", trials)
 	}
-	var sum, sumSq, evts float64
+	// Welford's online algorithm: the textbook sumSq - sum·mean form
+	// cancels catastrophically for MTTDLs of 10¹⁰ hours and beyond.
+	var w welford
+	var evts float64
 	var recs *desRecorders
 	if ob.Metrics != nil {
 		recs = newDESRecorders(ob.Metrics)
@@ -603,32 +606,34 @@ func estimateMTTDL(sc Scenario, rng *rand.Rand, trials, maxEventsPerTrial int, o
 		if err != nil {
 			return Estimate{}, fmt.Errorf("trial %d: %w", i, err)
 		}
-		if ob.Metrics != nil {
-			ob.Metrics.observeMission(r)
-		}
-		if ob.Hook != nil {
-			ob.Hook.Emit(obs.Event{T: r.Time, Name: "data_loss", Fields: map[string]any{
-				"mission": i,
-				"cause":   r.Cause.String(),
-				"events":  r.Events,
-			}})
-		}
-		if ob.OnMission != nil {
-			ob.OnMission(i, r)
-		}
-		sum += r.Time
-		sumSq += r.Time * r.Time
+		observeMissionCallbacks(ob, i, r)
+		w.observe(r.Time)
 		evts += float64(r.Events)
-	}
-	mean := sum / float64(trials)
-	variance := (sumSq - sum*mean) / float64(trials-1)
-	if variance < 0 {
-		variance = 0
 	}
 	return Estimate{
 		Trials:    trials,
-		MeanHours: mean,
-		StdErr:    math.Sqrt(variance / float64(trials)),
+		MeanHours: w.mean,
+		StdErr:    math.Sqrt(w.variance() / float64(trials)),
 		MeanEvts:  evts / float64(trials),
 	}, nil
+}
+
+// observeMissionCallbacks fires the per-mission observer surface for one
+// completed mission: metrics fold, hook event, progress callback. The
+// parallel estimator serializes calls to this under a mutex so JSONL
+// events stay well-formed and OnMission never runs concurrently.
+func observeMissionCallbacks(ob Observer, i int, r LossResult) {
+	if ob.Metrics != nil {
+		ob.Metrics.observeMission(r)
+	}
+	if ob.Hook != nil {
+		ob.Hook.Emit(obs.Event{T: r.Time, Name: "data_loss", Fields: map[string]any{
+			"mission": i,
+			"cause":   r.Cause.String(),
+			"events":  r.Events,
+		}})
+	}
+	if ob.OnMission != nil {
+		ob.OnMission(i, r)
+	}
 }

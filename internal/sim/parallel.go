@@ -1,0 +1,290 @@
+package sim
+
+// Deterministic parallel Monte Carlo. Missions (and biased regenerative
+// cycles) are embarrassingly parallel, but a naive port — one shared
+// *rand.Rand, per-worker accumulators merged on completion — would make
+// the estimate depend on the worker count and on goroutine scheduling.
+// The parallel estimators here guarantee *bit-identical results at any
+// worker count* by construction:
+//
+//   - every trial's RNG is derived from (baseSeed, trialIndex) via the
+//     splitmix64 stream in internal/seedstream, so the sample drawn for
+//     trial i is a pure function of the base seed, never of which worker
+//     ran it or what ran before it;
+//   - work is handed out in fixed-size chunks whose boundaries depend
+//     only on the trial count, never on the worker count; each chunk's
+//     accumulator (a Welford state for the DES, moment sums for the
+//     biased estimator) is stored by chunk index;
+//   - the final reduction folds chunk accumulators in ascending chunk
+//     order (Chan et al.'s pairwise Welford combine for the DES), so the
+//     floating-point rounding sequence is fixed no matter how chunks
+//     were scheduled.
+//
+// Observer callbacks and hook emissions are serialized under a mutex so
+// JSONL event streams stay well-formed; per-worker obs recorders keep
+// the shared registry to a handful of atomic adds per mission. Mission
+// *completion order* (and therefore event order in a JSONL stream and
+// the OnMission call order) is scheduling-dependent; every event carries
+// its mission index so streams can be re-sorted offline.
+//
+// On error the pool stops early and reports the error of the
+// lowest-numbered failing trial it observed; errors are deterministic in
+// content (trials are pure functions of the seed) but a lower-indexed
+// trial that was never started under one schedule may win under another.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/markov"
+	"repro/internal/seedstream"
+)
+
+// missionChunk is the unit of parallel work for DES missions: small
+// enough to load-balance across workers, large enough that the per-chunk
+// bookkeeping vanishes against mission cost. It is a constant — chunk
+// boundaries must not depend on the worker count, or determinism across
+// worker counts is lost.
+const missionChunk = 64
+
+// cycleChunk is the unit of parallel work for biased regenerative
+// cycles. Cycles are a few transitions each, so chunks are big enough to
+// amortize the per-chunk RNG construction (seeding math/rand costs ~2k
+// arithmetic ops) and the scheduling handshake.
+const cycleChunk = 1024
+
+// clampWorkers resolves a requested worker count: <= 0 selects
+// runtime.NumCPU(), and the pool never exceeds the number of work units.
+func clampWorkers(workers, units int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > units {
+		workers = units
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// EstimateMTTDLParallel estimates MTTDL like EstimateMTTDL, but runs
+// trials on a pool of workers. Unlike the serial estimator — whose shared
+// RNG makes trial i depend on trials 0..i-1 — each trial's RNG is seeded
+// from seedstream.Derive(baseSeed, trialIndex), so the returned Estimate
+// is bit-identical for every workers value (including 1) at a fixed
+// baseSeed. workers <= 0 selects runtime.NumCPU().
+func EstimateMTTDLParallel(sc Scenario, baseSeed int64, trials, maxEventsPerTrial, workers int) (Estimate, error) {
+	return EstimateMTTDLParallelObserved(sc, baseSeed, trials, maxEventsPerTrial, workers, Observer{})
+}
+
+// EstimateMTTDLParallelObserved is EstimateMTTDLParallel with
+// instrumentation: identical estimates, plus per-mission telemetry
+// through ob. Hook emissions and OnMission callbacks are serialized (one
+// at a time, from pool goroutines); metrics use per-worker recorders and
+// the lock-free registry.
+func EstimateMTTDLParallelObserved(sc Scenario, baseSeed int64, trials, maxEventsPerTrial, workers int, ob Observer) (Estimate, error) {
+	if trials < 2 {
+		return Estimate{}, fmt.Errorf("sim: need at least 2 trials, got %d", trials)
+	}
+	if err := sc.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	numChunks := (trials + missionChunk - 1) / missionChunk
+	workers = clampWorkers(workers, numChunks)
+
+	chunkStats := make([]welford, numChunks)
+	chunkEvts := make([]float64, numChunks)
+
+	var (
+		next     atomic.Int64 // next chunk to claim
+		failed   atomic.Bool
+		mu       sync.Mutex // serializes callbacks; guards firstErr/firstIdx
+		firstErr error
+		firstIdx = trials
+	)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Recorders are documented single-goroutine: one set per
+			// worker, reused across all its missions; runUntilLoss
+			// flushes them into the atomic registry once per mission.
+			var recs *desRecorders
+			if ob.Metrics != nil {
+				recs = newDESRecorders(ob.Metrics)
+			}
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := c * missionChunk
+				hi := lo + missionChunk
+				if hi > trials {
+					hi = trials
+				}
+				// After a failure, chunks whose trials all lie above the
+				// current first failing trial are moot; chunks below it
+				// must still run so the reported error is that of the
+				// overall lowest failing trial, not a schedule accident.
+				if failed.Load() {
+					mu.Lock()
+					skip := lo > firstIdx
+					mu.Unlock()
+					if skip {
+						continue
+					}
+				}
+				var w welford
+				var evts float64
+				bad := false
+				for i := lo; i < hi; i++ {
+					rng := rand.New(rand.NewSource(seedstream.Derive(baseSeed, uint64(i))))
+					r, err := runUntilLoss(sc, rng, maxEventsPerTrial, ob.Metrics, recs)
+					if err != nil {
+						mu.Lock()
+						if i < firstIdx {
+							firstIdx = i
+							firstErr = fmt.Errorf("trial %d: %w", i, err)
+						}
+						mu.Unlock()
+						failed.Store(true)
+						bad = true
+						break
+					}
+					if ob.Hook != nil || ob.OnMission != nil {
+						mu.Lock()
+						observeMissionCallbacks(ob, i, r)
+						mu.Unlock()
+					} else if ob.Metrics != nil {
+						// Metrics alone need no serialization: the
+						// registry is lock-free and order-insensitive.
+						ob.Metrics.observeMission(r)
+					}
+					w.observe(r.Time)
+					evts += float64(r.Events)
+				}
+				if bad {
+					continue
+				}
+				chunkStats[c] = w
+				chunkEvts[c] = evts
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Estimate{}, firstErr
+	}
+	// Deterministic reduction: fold chunks in ascending index order.
+	var agg welford
+	var evts float64
+	for c := range chunkStats {
+		agg.merge(chunkStats[c])
+		evts += chunkEvts[c]
+	}
+	return Estimate{
+		Trials:    trials,
+		MeanHours: agg.mean,
+		StdErr:    math.Sqrt(agg.variance() / float64(trials)),
+		MeanEvts:  evts / float64(trials),
+	}, nil
+}
+
+// EstimateMTTABiasedParallel is EstimateMTTABiased on a worker pool.
+// Cycles are partitioned into fixed chunks of cycleChunk; chunk k runs
+// off an RNG seeded from seedstream.Derive(baseSeed, k), and chunk moment
+// sums fold in chunk order, so the result is bit-identical for every
+// workers value at a fixed baseSeed. workers <= 0 selects
+// runtime.NumCPU().
+func EstimateMTTABiasedParallel(c *markov.Chain, baseSeed int64, cycles int, delta, repairThreshold float64, workers int) (BiasedEstimate, error) {
+	if err := c.Validate(); err != nil {
+		return BiasedEstimate{}, err
+	}
+	if cycles < 2 {
+		return BiasedEstimate{}, fmt.Errorf("sim: need at least 2 cycles, got %d", cycles)
+	}
+	if delta <= 0 || delta >= 1 {
+		return BiasedEstimate{}, fmt.Errorf("sim: delta %v must lie in (0,1)", delta)
+	}
+	init := c.Initial()
+	if c.IsAbsorbing(init) {
+		return BiasedEstimate{MTTA: 0, Cycles: cycles, CycleLossProbability: 1}, nil
+	}
+	// Plans are read-only after construction: shared across the pool.
+	plans := buildBiasPlans(c, delta, repairThreshold)
+	numChunks := (cycles + cycleChunk - 1) / cycleChunk
+	workers = clampWorkers(workers, numChunks)
+
+	chunkSums := make([]biasedSums, numChunks)
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = numChunks
+	)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= numChunks {
+					return
+				}
+				if failed.Load() {
+					mu.Lock()
+					skip := k > firstIdx
+					mu.Unlock()
+					if skip {
+						continue
+					}
+				}
+				lo := k * cycleChunk
+				hi := lo + cycleChunk
+				if hi > cycles {
+					hi = cycles
+				}
+				rng := rand.New(rand.NewSource(seedstream.Derive(baseSeed, uint64(k))))
+				var sums biasedSums
+				bad := false
+				for i := lo; i < hi; i++ {
+					x, y, err := runBiasedCycle(c, plans, init, rng)
+					if err != nil {
+						mu.Lock()
+						if k < firstIdx {
+							firstIdx = k
+							firstErr = err
+						}
+						mu.Unlock()
+						failed.Store(true)
+						bad = true
+						break
+					}
+					sums.add(x, y)
+				}
+				if bad {
+					continue
+				}
+				chunkSums[k] = sums
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return BiasedEstimate{}, firstErr
+	}
+	var total biasedSums
+	for k := range chunkSums {
+		total.merge(chunkSums[k])
+	}
+	return total.estimate()
+}

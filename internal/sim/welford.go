@@ -1,0 +1,54 @@
+package sim
+
+// welford is Welford's online mean/variance accumulator. The textbook
+// two-pass moments sum and sumSq cancel catastrophically when the
+// coefficient of variation is small relative to the magnitude — exactly
+// the regime of MTTDL estimates at 10¹⁰ hours and beyond, where
+// sumSq - sum·mean subtracts two numbers that agree in most of their
+// leading digits. Welford's recurrence keeps the centered second moment
+// M2 directly and never forms the cancelling difference.
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// observe folds one sample in.
+func (w *welford) observe(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// merge combines another accumulator into w using the Chan, Golub &
+// LeVeque pairwise update — the exact parallel composition of two Welford
+// states. Merging chunk states in a fixed order yields the same result
+// regardless of which worker produced which chunk.
+func (w *welford) merge(o welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// variance returns the unbiased sample variance (0 for fewer than two
+// samples; the recurrence keeps m2 >= 0 up to rounding, clamp anyway).
+func (w *welford) variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	v := w.m2 / float64(w.n-1)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

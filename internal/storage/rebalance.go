@@ -56,7 +56,10 @@ func (s *System) rebalanceOnce(stats *RebalanceStats) bool {
 		return false
 	}
 	// Find a shard on the source drive whose object tolerates a move.
-	for id, obj := range s.objects {
+	// Sorted ID order: this loop picks the first movable shard, so map
+	// iteration order would make the migration plan vary run to run.
+	for _, id := range s.sortedObjectIDs() {
+		obj := s.objects[id]
 		if s.lost[id] {
 			continue
 		}

@@ -90,7 +90,10 @@ func (s *System) Scrub() (ScrubStats, error) {
 			s.metrics.ScrubObjectsLost.Add(int64(stats.ObjectsLost))
 		}
 	}()
-	for id, obj := range s.objects {
+	// Sorted ID order: repairs consume spare capacity, so the scan order
+	// decides which object loses out when spares run dry.
+	for _, id := range s.sortedObjectIDs() {
+		obj := s.objects[id]
 		if s.lost[id] {
 			continue
 		}

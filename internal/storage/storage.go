@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 
 	"repro/internal/erasure"
@@ -300,6 +301,21 @@ type RebuildStats struct {
 	ObjectsLost int
 }
 
+// sortedObjectIDs returns every object ID in lexicographic order. Passes
+// that range over the object map (rebuild, scrub, rebalance) must use it:
+// map iteration order is randomized, and these passes make order-dependent
+// choices (which object claims scarce spare capacity, which shard
+// migrates), so raw map ranging would make replay outcomes vary run to
+// run. Callers hold s.mu.
+func (s *System) sortedObjectIDs() []string {
+	ids := make([]string, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // Rebuild regenerates every shard that is currently unreadable, placing
 // each on a live node outside the object's current node set (even spare
 // distribution), one drive per node per object. Unrecoverable objects are
@@ -316,7 +332,11 @@ func (s *System) Rebuild() (RebuildStats, error) {
 			s.metrics.RebuildObjectsLost.Add(int64(stats.ObjectsLost))
 		}
 	}()
-	for id, obj := range s.objects {
+	// Sorted ID order: rebuild passes compete for spare capacity, so map
+	// iteration order would make which object wins the last spare — and
+	// therefore the loss tally — vary run to run.
+	for _, id := range s.sortedObjectIDs() {
+		obj := s.objects[id]
 		if s.lost[id] {
 			continue
 		}
@@ -436,6 +456,8 @@ func (s *System) CheckAll() []string {
 		}
 	}
 	s.mu.Unlock()
+	// Sorted so the returned failure list is stable across runs.
+	sort.Strings(ids)
 	var bad []string
 	for _, id := range ids {
 		if _, err := s.Get(id); err != nil {
