@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -18,22 +19,26 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "nsr-baseline:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nsr-baseline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	p := params.Baseline()
-	exact := flag.Bool("exact", false, "solve the exact Markov chains instead of the paper's closed forms")
-	flag.Float64Var(&p.NodeMTTFHours, "node-mttf", p.NodeMTTFHours, "node MTTF in hours")
-	flag.Float64Var(&p.DriveMTTFHours, "drive-mttf", p.DriveMTTFHours, "drive MTTF in hours")
-	flag.IntVar(&p.NodeSetSize, "n", p.NodeSetSize, "node set size N")
-	flag.IntVar(&p.RedundancySetSize, "r", p.RedundancySetSize, "redundancy set size R")
-	flag.IntVar(&p.DrivesPerNode, "d", p.DrivesPerNode, "drives per node")
-	targetRate := flag.Float64("target", core.PaperTarget().EventsPerPBYear, "reliability target in events per PB-year")
-	flag.Parse()
+	exact := fs.Bool("exact", false, "solve the exact Markov chains instead of the paper's closed forms")
+	fs.Float64Var(&p.NodeMTTFHours, "node-mttf", p.NodeMTTFHours, "node MTTF in hours")
+	fs.Float64Var(&p.DriveMTTFHours, "drive-mttf", p.DriveMTTFHours, "drive MTTF in hours")
+	fs.IntVar(&p.NodeSetSize, "n", p.NodeSetSize, "node set size N")
+	fs.IntVar(&p.RedundancySetSize, "r", p.RedundancySetSize, "redundancy set size R")
+	fs.IntVar(&p.DrivesPerNode, "d", p.DrivesPerNode, "drives per node")
+	targetRate := fs.Float64("target", core.PaperTarget().EventsPerPBYear, "reliability target in events per PB-year")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	method := core.MethodClosedForm
 	if *exact {
@@ -63,6 +68,6 @@ func run() error {
 			meets,
 		)
 	}
-	fmt.Print(t)
+	fmt.Fprint(stdout, t)
 	return nil
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestRunGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, stderr.String())
+	}
+	checkGolden(t, "fig13_closed_form", stdout.Bytes())
+}
+
+func TestRunExactMethod(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exact"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -exact: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "exact-chain") {
+		t.Errorf("exact run does not announce its method:\n%s", out)
+	}
+	// All nine baseline configurations must appear.
+	for _, cfg := range []string{"FT 1", "FT 2", "FT 3"} {
+		if !strings.Contains(out, cfg) {
+			t.Errorf("missing %s rows:\n%s", cfg, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-r", "not-a-number"}, &stdout, &stderr); err == nil {
+		t.Error("run accepted a non-numeric -r")
+	}
+}

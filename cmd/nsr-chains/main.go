@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/closedform"
@@ -21,18 +22,22 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "nsr-chains:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	internal := flag.String("internal", "none", "internal redundancy: none, raid5 or raid6")
-	ft := flag.Int("ft", 2, "inter-node fault tolerance")
-	dot := flag.Bool("dot", false, "emit the chain in Graphviz dot form")
-	sens := flag.Bool("sens", false, "print per-transition MTTDL sensitivities (adjoint method)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nsr-chains", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	internal := fs.String("internal", "none", "internal redundancy: none, raid5 or raid6")
+	ft := fs.Int("ft", 2, "inter-node fault tolerance")
+	dot := fs.Bool("dot", false, "emit the chain in Graphviz dot form")
+	sens := fs.Bool("sens", false, "print per-transition MTTDL sensitivities (adjoint method)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var ir core.InternalRedundancy
 	switch *internal {
@@ -52,22 +57,22 @@ func run() error {
 		return err
 	}
 	if *dot {
-		fmt.Print(chain.DOT(cfg.String()))
+		fmt.Fprint(stdout, chain.DOT(cfg.String()))
 		return nil
 	}
 
 	s := chain.Summarize()
-	fmt.Printf("%s\n", cfg)
-	fmt.Printf("states: %d (%d transient, %d absorbing), transitions: %d\n",
+	fmt.Fprintf(stdout, "%s\n", cfg)
+	fmt.Fprintf(stdout, "states: %d (%d transient, %d absorbing), transitions: %d\n",
 		s.States, s.Transient, s.Absorbing, s.Transitions)
-	fmt.Printf("rate span: %.3g .. %.3g per hour (stiffness %.3g)\n",
+	fmt.Fprintf(stdout, "rate span: %.3g .. %.3g per hour (stiffness %.3g)\n",
 		s.MinRate, s.MaxRate, s.MaxRate/s.MinRate)
 
 	mttdl, err := markov.MTTA(chain)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("exact MTTDL: %.4g h\n", mttdl)
+	fmt.Fprintf(stdout, "exact MTTDL: %.4g h\n", mttdl)
 
 	top, err := markov.TopStatesByTime(chain, 6)
 	if err != nil {
@@ -81,10 +86,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\ndominant states (by expected time before data loss):")
-	fmt.Printf("%-8s  %14s  %16s\n", "state", "time (h)", "expected visits")
+	fmt.Fprintln(stdout, "\ndominant states (by expected time before data loss):")
+	fmt.Fprintf(stdout, "%-8s  %14s  %16s\n", "state", "time (h)", "expected visits")
 	for _, name := range top {
-		fmt.Printf("%-8s  %14.5g  %16.5g\n", name, res.TimeInState[name], visits[name])
+		fmt.Fprintf(stdout, "%-8s  %14.5g  %16.5g\n", name, res.TimeInState[name], visits[name])
 	}
 
 	if *sens {
@@ -92,13 +97,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("\nmost influential transitions (d log MTTDL / d log rate):")
-		fmt.Printf("%-8s  %-8s  %12s  %12s\n", "from", "to", "rate (/h)", "elasticity")
+		fmt.Fprintln(stdout, "\nmost influential transitions (d log MTTDL / d log rate):")
+		fmt.Fprintf(stdout, "%-8s  %-8s  %12s  %12s\n", "from", "to", "rate (/h)", "elasticity")
 		for i, s := range all {
 			if i == 10 {
 				break
 			}
-			fmt.Printf("%-8s  %-8s  %12.4g  %+12.4f\n", s.From, s.To, s.Rate, s.Elasticity)
+			fmt.Fprintf(stdout, "%-8s  %-8s  %12.4g  %+12.4f\n", s.From, s.To, s.Rate, s.Elasticity)
 		}
 	}
 	return nil
@@ -107,6 +112,15 @@ func run() error {
 func buildChain(p params.Parameters, cfg core.Config) (*markov.Chain, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	// The same geometry guard core.Analyze applies: the downstream model
+	// constructors panic on an FT the redundancy set cannot hold.
+	k := cfg.NodeFaultTolerance
+	switch {
+	case p.NodeSetSize <= k+1:
+		return nil, fmt.Errorf("node set size %d too small for fault tolerance %d", p.NodeSetSize, k)
+	case p.RedundancySetSize <= k:
+		return nil, fmt.Errorf("redundancy set size %d too small for fault tolerance %d", p.RedundancySetSize, k)
 	}
 	rates := rebuild.Compute(p, cfg.NodeFaultTolerance)
 	if cfg.Internal == core.InternalNone {

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -35,26 +36,30 @@ type output struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "nsr-mttdl:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nsr-mttdl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	p := params.Baseline()
-	internal := flag.String("internal", "raid5", "internal redundancy: none, raid5 or raid6")
-	ft := flag.Int("ft", 2, "inter-node fault tolerance")
-	methodName := flag.String("method", "closed-form", "closed-form, exact-chain or exact-stable")
-	flag.Float64Var(&p.NodeMTTFHours, "node-mttf", p.NodeMTTFHours, "node MTTF in hours")
-	flag.Float64Var(&p.DriveMTTFHours, "drive-mttf", p.DriveMTTFHours, "drive MTTF in hours")
-	flag.IntVar(&p.NodeSetSize, "n", p.NodeSetSize, "node set size")
-	flag.IntVar(&p.RedundancySetSize, "r", p.RedundancySetSize, "redundancy set size")
-	flag.IntVar(&p.DrivesPerNode, "d", p.DrivesPerNode, "drives per node")
-	flag.Float64Var(&p.RebuildCommandBytes, "block", p.RebuildCommandBytes, "rebuild command size in bytes")
-	flag.Float64Var(&p.LinkSpeedGbps, "link", p.LinkSpeedGbps, "link speed in Gb/s")
-	oflags := obs.AddFlags(flag.CommandLine)
-	flag.Parse()
+	internal := fs.String("internal", "raid5", "internal redundancy: none, raid5 or raid6")
+	ft := fs.Int("ft", 2, "inter-node fault tolerance")
+	methodName := fs.String("method", "closed-form", "closed-form, exact-chain or exact-stable")
+	fs.Float64Var(&p.NodeMTTFHours, "node-mttf", p.NodeMTTFHours, "node MTTF in hours")
+	fs.Float64Var(&p.DriveMTTFHours, "drive-mttf", p.DriveMTTFHours, "drive MTTF in hours")
+	fs.IntVar(&p.NodeSetSize, "n", p.NodeSetSize, "node set size")
+	fs.IntVar(&p.RedundancySetSize, "r", p.RedundancySetSize, "redundancy set size")
+	fs.IntVar(&p.DrivesPerNode, "d", p.DrivesPerNode, "drives per node")
+	fs.Float64Var(&p.RebuildCommandBytes, "block", p.RebuildCommandBytes, "rebuild command size in bytes")
+	fs.Float64Var(&p.LinkSpeedGbps, "link", p.LinkSpeedGbps, "link speed in Gb/s")
+	oflags := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	sess, err := oflags.Start()
 	if err != nil {
 		return err
@@ -94,7 +99,7 @@ func run() error {
 		return err
 	}
 	target := core.PaperTarget()
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	encErr := enc.Encode(output{
 		Configuration:   cfg.String(),

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
@@ -18,17 +19,21 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "nsr-plan:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	years := flag.Float64("years", 5, "mission length in years")
-	maxUtil := flag.Float64("max-util", 0.97, "maximum acceptable utilization at mission end")
-	threshold := flag.Float64("threshold", 0.9, "utilization threshold for adding spare nodes")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nsr-plan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	years := fs.Float64("years", 5, "mission length in years")
+	maxUtil := fs.Float64("max-util", 0.97, "maximum acceptable utilization at mission end")
+	threshold := fs.Float64("threshold", 0.9, "utilization threshold for adding spare nodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	p := params.Baseline()
 	mission := *years * params.HoursPerYear
@@ -37,22 +42,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(table)
+	fmt.Fprintln(stdout, table)
 
 	u0, err := spares.RequiredInitialUtilization(p, mission, *maxUtil)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("required initial utilization for a %.1f-year mission at ≤%.0f%%: %.1f%%\n",
+	fmt.Fprintf(stdout, "required initial utilization for a %.1f-year mission at ≤%.0f%%: %.1f%%\n",
 		*years, 100**maxUtil, 100*u0)
 
 	tCross, err := spares.TimeToUtilization(p, *threshold)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("starting at %.0f%%, utilization crosses %.0f%% after %.1f years — add spare nodes by then\n",
+	fmt.Fprintf(stdout, "starting at %.0f%%, utilization crosses %.0f%% after %.1f years — add spare nodes by then\n",
 		100*p.CapacityUtilization, 100**threshold, tCross/params.HoursPerYear)
-	fmt.Printf("expected attrition by then: %.1f node failures, %.1f drive failures\n",
+	fmt.Fprintf(stdout, "expected attrition by then: %.1f node failures, %.1f drive failures\n",
 		spares.ExpectedNodeFailures(p, tCross), spares.ExpectedDriveFailures(p, tCross))
 	return nil
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"required initial utilization", "utilization crosses", "expected attrition"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCustomMission(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-years", "10", "-max-util", "0.95"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "10.0-year mission") {
+		t.Errorf("mission length not reflected:\n%s", stdout.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-years", "banana"}, &stdout, &stderr); err == nil {
+		t.Error("run accepted a non-numeric -years")
+	}
+}

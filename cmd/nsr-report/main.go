@@ -5,6 +5,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -14,18 +15,25 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "nsr-report:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	trials := flag.Int("trials", 1500, "simulation trials for the model-assumption ablation")
-	asJSON := flag.Bool("json", false, "emit all tables as a JSON document instead of text")
-	csvDir := flag.String("csv-dir", "", "also write each table to <dir>/<id>.csv")
-	workers := flag.Int("workers", 0, "concurrent analyses per sweep (0 = all CPUs, 1 = serial; results are identical at any setting)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nsr-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	trials := fs.Int("trials", 1500, "simulation trials for the model-assumption ablation")
+	asJSON := fs.Bool("json", false, "emit all tables as a JSON document instead of text")
+	csvDir := fs.String("csv-dir", "", "also write each table to <dir>/<id>.csv")
+	workers := fs.Int("workers", 0, "concurrent analyses per sweep (0 = all CPUs, 1 = serial; results are identical at any setting)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := core.ValidateWorkers(*workers); err != nil {
+		return err
+	}
 	core.SetMaxWorkers(*workers)
 	p := params.Baseline()
 
@@ -43,64 +51,64 @@ func run() error {
 			if err := experiments.WriteCSVDir(*csvDir, all); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %d CSV tables to %s\n", len(all), *csvDir)
+			fmt.Fprintf(stdout, "wrote %d CSV tables to %s\n", len(all), *csvDir)
 		}
 		if *asJSON {
 			data, err := experiments.EncodeJSON(all)
 			if err != nil {
 				return err
 			}
-			if _, err := os.Stdout.Write(data); err != nil {
+			if _, err := stdout.Write(data); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	fmt.Println("Reproduction report: Reliability for Networked Storage Nodes (DSN 2006)")
-	fmt.Println()
-	fmt.Printf("baseline: N=%d R=%d d=%d, node MTTF %.0f h, drive MTTF %.0f h, C=%.0f GB\n",
+	fmt.Fprintln(stdout, "Reproduction report: Reliability for Networked Storage Nodes (DSN 2006)")
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "baseline: N=%d R=%d d=%d, node MTTF %.0f h, drive MTTF %.0f h, C=%.0f GB\n",
 		p.NodeSetSize, p.RedundancySetSize, p.DrivesPerNode,
 		p.NodeMTTFHours, p.DriveMTTFHours, p.DriveCapacityBytes/params.GB)
 	rates := rebuild.Compute(p, 2)
 	nodeH, nodeB := rebuild.NodeRebuildTimeHours(p, 2)
-	fmt.Printf("rebuild model (FT 2): node rebuild %.2f h (%s-limited), drive rebuild %.2f h, restripe %.2f h\n",
+	fmt.Fprintf(stdout, "rebuild model (FT 2): node rebuild %.2f h (%s-limited), drive rebuild %.2f h, restripe %.2f h\n",
 		nodeH, nodeB, 1/rates.DriveRebuild, 1/rates.Restripe)
-	fmt.Printf("link-speed crossover: %.2f Gb/s (paper: ~3 Gb/s)\n", rebuild.CrossoverLinkSpeedGbps(p, 2))
-	fmt.Println()
+	fmt.Fprintf(stdout, "link-speed crossover: %.2f Gb/s (paper: ~3 Gb/s)\n", rebuild.CrossoverLinkSpeedGbps(p, 2))
+	fmt.Fprintln(stdout)
 
 	tables, err := experiments.All(p)
 	if err != nil {
 		return err
 	}
 	for _, t := range tables {
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 	}
 
-	fmt.Println("--- ablations beyond the paper ---")
-	fmt.Println()
+	fmt.Fprintln(stdout, "--- ablations beyond the paper ---")
+	fmt.Fprintln(stdout)
 	ablations, err := experiments.Ablations(p, *trials, 1)
 	if err != nil {
 		return err
 	}
 	for _, t := range ablations {
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 	}
 
-	fmt.Println("--- degraded-mode exposure (exact chains) ---")
+	fmt.Fprintln(stdout, "--- degraded-mode exposure (exact chains) ---")
 	for _, cfg := range core.SensitivityConfigs() {
 		exp, err := core.Exposure(p, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println(exp)
+		fmt.Fprintln(stdout, exp)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	claims, err := experiments.ClaimsTable(p)
 	if err != nil {
 		return err
 	}
-	fmt.Println(claims)
+	fmt.Fprintln(stdout, claims)
 	return nil
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -22,17 +23,24 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "nsr-sensitivity:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fig := flag.Int("fig", 0, "figure number 14..20 (0 = all)")
-	workers := flag.Int("workers", 0, "concurrent analyses per sweep (0 = all CPUs, 1 = serial; results are identical at any setting)")
-	oflags := obs.AddFlags(flag.CommandLine)
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nsr-sensitivity", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure number 14..20 (0 = all)")
+	workers := fs.Int("workers", 0, "concurrent analyses per sweep (0 = all CPUs, 1 = serial; results are identical at any setting)")
+	oflags := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := core.ValidateWorkers(*workers); err != nil {
+		return err
+	}
 	core.SetMaxWorkers(*workers)
 	sess, err := oflags.Start()
 	if err != nil {
@@ -50,7 +58,7 @@ func run() error {
 			return err
 		}
 		for _, t := range tables {
-			fmt.Println(t)
+			fmt.Fprintln(stdout, t)
 		}
 		return nil
 	}
@@ -58,7 +66,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 		return nil
 	}
 

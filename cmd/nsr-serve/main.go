@@ -1,0 +1,88 @@
+// Command nsr-serve runs the reliability analysis service: a cached,
+// cancellable HTTP JSON API over the analysis engine, the exact Markov
+// solvers and the deterministic Monte Carlo estimators.
+//
+// Usage:
+//
+//	nsr-serve [-addr :8080] [-workers 0] [-cache 256] [-drain 10s]
+//	          [-grid-cells 4096] [-sim-trials 20000] [-max-body 1048576]
+//
+// Endpoints: POST /v1/analyze, /v1/sweep, /v1/simulate;
+// GET /healthz, /metrics. SIGINT/SIGTERM drain in-flight requests for
+// -drain, then cancel whatever is left; a clean drain exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "nsr-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nsr-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "concurrent solves and per-solve worker ceiling (0 = all CPUs)")
+	cacheN := fs.Int("cache", 256, "result cache capacity (completed responses)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before in-flight solves are cancelled")
+	gridCells := fs.Int("grid-cells", 4096, "maximum sweep grid cells (values × configs)")
+	simTrials := fs.Int("sim-trials", 20_000, "maximum trials per simulate request")
+	maxBody := fs.Int64("max-body", 1<<20, "maximum request body bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := core.ValidateWorkers(*workers); err != nil {
+		return err
+	}
+	core.SetMaxWorkers(*workers)
+
+	srv := serve.New(serve.Options{
+		CacheEntries: *cacheN,
+		MaxBodyBytes: *maxBody,
+		MaxGridCells: *gridCells,
+		MaxSimTrials: *simTrials,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The effective address line is machine-readable on purpose: with
+	// -addr :0 it is how tests and the e2e harness find the port.
+	fmt.Fprintf(stdout, "nsr-serve: listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		fmt.Fprintf(stdout, "nsr-serve: shutting down (drain %s)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		return <-errc
+	}
+}

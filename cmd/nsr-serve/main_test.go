@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// notifyWriter is a threadsafe buffer that signals once its contents
+// match a predicate — how the test learns the ephemeral port from the
+// "listening on" line.
+type notifyWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	c   chan struct{}
+}
+
+func newNotifyWriter() *notifyWriter { return &notifyWriter{c: make(chan struct{}, 1)} }
+
+func (w *notifyWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.buf.Write(p)
+	select {
+	case w.c <- struct{}{}:
+	default:
+	}
+	return n, err
+}
+
+func (w *notifyWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// waitForAddr blocks until the listening line appears and returns the
+// host:port it announces.
+func (w *notifyWriter) waitForAddr(t *testing.T) string {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		if s := w.String(); strings.Contains(s, "listening on ") {
+			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+			return strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		}
+		select {
+		case <-w.c:
+		case <-deadline:
+			t.Fatalf("server never announced its address; stdout %q", w.String())
+		}
+	}
+}
+
+// TestRunEndToEnd boots the real server on an ephemeral port, exercises
+// the health probe and an analysis round-trip over actual TCP, then
+// delivers SIGTERM and expects a clean, draining exit — the same
+// life-cycle the CI e2e job drives from the outside.
+func TestRunEndToEnd(t *testing.T) {
+	stdout := newNotifyWriter()
+	var stderr bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, stdout, &stderr)
+	}()
+	addr := stdout.waitForAddr(t)
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/analyze", "application/json",
+		strings.NewReader(`{"config":{"internal":"raid5","ft":2}}`))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, body)
+	}
+	var ar struct {
+		MTTDLHours float64 `json:"mttdl_hours"`
+	}
+	if err := json.Unmarshal(body, &ar); err != nil || ar.MTTDLHours <= 0 {
+		t.Fatalf("analyze body implausible: %v %s", err, body)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "serve.requests.analyze") {
+		t.Fatalf("metrics missing serve counters: %s", body)
+	}
+
+	// The graceful path: SIGTERM → drain → run returns nil. The signal
+	// goes to our own process; run's NotifyContext absorbs it.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v, want nil (stderr %q)", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit within 10s of SIGTERM")
+	}
+	if out := stdout.String(); !strings.Contains(out, "shutting down") {
+		t.Errorf("no shutdown announcement in stdout: %q", out)
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-workers", "-4"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("run -workers -4 = %v, want a negative-workers error", err)
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-addr", "not-an-address:-1"}, &stdout, &stderr); err == nil {
+		t.Error("run accepted an unparseable address")
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); err == nil {
+		t.Error("run -h returned nil")
+	}
+	for _, flagName := range []string{"-addr", "-workers", "-cache", "-drain"} {
+		if !strings.Contains(stderr.String(), flagName) {
+			t.Errorf("usage missing %s", flagName)
+		}
+	}
+}

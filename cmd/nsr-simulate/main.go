@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -29,19 +30,26 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "nsr-simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	mode := flag.String("mode", "des", "validation mode: des or biased")
-	trials := flag.Int("trials", 2000, "DES trials / 10× biased cycles")
-	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs; 1 = the serial estimator, reproducing earlier releases exactly; >1 uses per-trial seed streams, bit-identical at any worker count)")
-	oflags := obs.AddFlags(flag.CommandLine)
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nsr-simulate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "des", "validation mode: des or biased")
+	trials := fs.Int("trials", 2000, "DES trials / 10× biased cycles")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs; 1 = the serial estimator, reproducing earlier releases exactly; >1 uses per-trial seed streams, bit-identical at any worker count)")
+	oflags := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := core.ValidateWorkers(*workers); err != nil {
+		return err
+	}
 	sess, err := oflags.Start()
 	if err != nil {
 		return err
@@ -54,13 +62,13 @@ func run() error {
 		sess.Registry.SetLabel("mode", *mode)
 	}
 	// The effective seed makes every run reproducible from its logs.
-	fmt.Printf("seed %d\n", *seed)
+	fmt.Fprintf(stdout, "seed %d\n", *seed)
 	var runErr error
 	switch *mode {
 	case "des":
-		runErr = runDES(*trials, *seed, *workers, sess)
+		runErr = runDES(stdout, *trials, *seed, *workers, sess)
 	case "biased":
-		runErr = runBiased(*trials*10, *seed, *workers, sess)
+		runErr = runBiased(stdout, *trials*10, *seed, *workers, sess)
 	default:
 		runErr = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -79,11 +87,11 @@ func run() error {
 // releases. Any other value runs the parallel estimator, whose per-trial
 // seed streams make the output identical at every worker count — a
 // different (equally valid) sample than the serial path draws.
-func runDES(trials int, seed int64, workers int, sess *obs.Session) error {
+func runDES(stdout io.Writer, trials int, seed int64, workers int, sess *obs.Session) error {
 	rng := rand.New(rand.NewSource(seed))
-	fmt.Println("Full-system DES vs exact Markov chain (accelerated failures)")
-	fmt.Println("config                         chain MTTDL      DES MTTDL        ratio")
-	fmt.Println("-----------------------------  ---------------  ---------------  -----")
+	fmt.Fprintln(stdout, "Full-system DES vs exact Markov chain (accelerated failures)")
+	fmt.Fprintln(stdout, "config                         chain MTTDL      DES MTTDL        ratio")
+	fmt.Fprintln(stdout, "-----------------------------  ---------------  ---------------  -----")
 
 	type scenario struct {
 		name  string
@@ -161,12 +169,12 @@ func runDES(trials int, seed int64, workers int, sess *obs.Session) error {
 			obs.ProgressStop(progress)
 			return err
 		}
-		fmt.Printf("%-29s  %-15.6g  %7.6g ± %-4.2g  %.3f\n",
+		fmt.Fprintf(stdout, "%-29s  %-15.6g  %7.6g ± %-4.2g  %.3f\n",
 			s.name, want, est.MeanHours, 1.96*est.StdErr, est.MeanHours/want)
 	}
 	obs.ProgressStop(progress)
-	fmt.Println("\nratios near 1 validate the chains; FT 2 ratios above 1 quantify the")
-	fmt.Println("chains' conservative last-in-first-out repair assumption.")
+	fmt.Fprintln(stdout, "\nratios near 1 validate the chains; FT 2 ratios above 1 quantify the")
+	fmt.Fprintln(stdout, "chains' conservative last-in-first-out repair assumption.")
 	return nil
 }
 
@@ -174,12 +182,12 @@ func runDES(trials int, seed int64, workers int, sess *obs.Session) error {
 // biasing and compares with the dense linear-algebra solution. Worker
 // semantics match runDES: 1 = legacy serial sample, otherwise the
 // worker-count-independent parallel estimator.
-func runBiased(cycles int, seed int64, workers int, sess *obs.Session) error {
+func runBiased(stdout io.Writer, cycles int, seed int64, workers int, sess *obs.Session) error {
 	rng := rand.New(rand.NewSource(seed))
 	p := params.Baseline()
-	fmt.Println("Balanced-failure-biasing estimator vs dense LU solution (baseline chains)")
-	fmt.Println("config                   exact MTTDL (h)  biased estimate (h)    rel CI")
-	fmt.Println("-----------------------  ---------------  ---------------------  ------")
+	fmt.Fprintln(stdout, "Balanced-failure-biasing estimator vs dense LU solution (baseline chains)")
+	fmt.Fprintln(stdout, "config                   exact MTTDL (h)  biased estimate (h)    rel CI")
+	fmt.Fprintln(stdout, "-----------------------  ---------------  ---------------------  ------")
 	configs := core.SensitivityConfigs()
 	progress := sess.Progress("configs", int64(len(configs)), nil)
 	defer obs.ProgressStop(progress)
@@ -202,7 +210,7 @@ func runBiased(cycles int, seed int64, workers int, sess *obs.Session) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-23s  %-15.6g  %9.6g ± %-8.2g  %.1f%%\n",
+		fmt.Fprintf(stdout, "%-23s  %-15.6g  %9.6g ± %-8.2g  %.1f%%\n",
 			cfg, want, est.MTTA, 1.96*est.StdErr, 100*est.RelHalfWidth95())
 		obs.ProgressAdd(progress, 1)
 	}

@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/seedstream"
@@ -26,48 +28,106 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "nsr-trace:", err)
 		os.Exit(1)
 	}
 }
 
-var (
-	gen        = flag.Bool("gen", false, "generate a trace")
-	out        = flag.String("out", "", "output file for -gen (default stdout)")
-	statsFile  = flag.String("stats", "", "print a trace's event statistics")
-	replayFile = flag.String("replay", "", "replay a trace against a fresh store")
-	monte      = flag.Int("montecarlo", 0, "replay N random traces and report the loss fraction")
+// app carries the parsed flags and output streams through the subcommands.
+type app struct {
+	stdout, stderr io.Writer
 
-	nodes     = flag.Int("nodes", 16, "nodes")
-	drives    = flag.Int("drives", 4, "drives per node")
-	years     = flag.Float64("years", 5, "mission length in years")
-	seed      = flag.Int64("seed", 1, "generation seed (-montecarlo derives trace s's seed from a splitmix64 stream over (seed, s), so traces are reproducible individually and independent even for adjacent base seeds)")
-	workers   = flag.Int("workers", 0, "concurrent trace replays for -montecarlo (0 = all CPUs; results are identical at any setting)")
-	oflags    *obs.Flags
-	nodeMTTF  = flag.Float64("node-mttf", 400_000, "node MTTF (hours)")
-	driveMTTF = flag.Float64("drive-mttf", 300_000, "drive MTTF (hours)")
-	latent    = flag.Float64("latent", 0, "latent faults per drive-hour")
-	rebuild   = flag.Bool("rebuild", true, "rebuild after each failure during replay")
-	scrubH    = flag.Float64("scrub", 0, "scrub interval during replay (hours, 0 = never)")
-	rsetSize  = flag.Int("r", 8, "redundancy set size for replay")
-	ft        = flag.Int("ft", 2, "fault tolerance for replay")
-)
+	gen        bool
+	out        string
+	statsFile  string
+	replayFile string
+	monte      int
 
-func options(s int64) trace.GenerateOptions {
+	nodes     int
+	drives    int
+	years     float64
+	seed      int64
+	workers   int
+	nodeMTTF  float64
+	driveMTTF float64
+	latent    float64
+	rebuild   bool
+	scrubH    float64
+	rsetSize  int
+	ft        int
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	a := &app{stdout: stdout, stderr: stderr}
+	fs := flag.NewFlagSet("nsr-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&a.gen, "gen", false, "generate a trace")
+	fs.StringVar(&a.out, "out", "", "output file for -gen (default stdout)")
+	fs.StringVar(&a.statsFile, "stats", "", "print a trace's event statistics")
+	fs.StringVar(&a.replayFile, "replay", "", "replay a trace against a fresh store")
+	fs.IntVar(&a.monte, "montecarlo", 0, "replay N random traces and report the loss fraction")
+
+	fs.IntVar(&a.nodes, "nodes", 16, "nodes")
+	fs.IntVar(&a.drives, "drives", 4, "drives per node")
+	fs.Float64Var(&a.years, "years", 5, "mission length in years")
+	fs.Int64Var(&a.seed, "seed", 1, "generation seed (-montecarlo derives trace s's seed from a splitmix64 stream over (seed, s), so traces are reproducible individually and independent even for adjacent base seeds)")
+	fs.IntVar(&a.workers, "workers", 0, "concurrent trace replays for -montecarlo (0 = all CPUs; results are identical at any setting)")
+	fs.Float64Var(&a.nodeMTTF, "node-mttf", 400_000, "node MTTF (hours)")
+	fs.Float64Var(&a.driveMTTF, "drive-mttf", 300_000, "drive MTTF (hours)")
+	fs.Float64Var(&a.latent, "latent", 0, "latent faults per drive-hour")
+	fs.BoolVar(&a.rebuild, "rebuild", true, "rebuild after each failure during replay")
+	fs.Float64Var(&a.scrubH, "scrub", 0, "scrub interval during replay (hours, 0 = never)")
+	fs.IntVar(&a.rsetSize, "r", 8, "redundancy set size for replay")
+	fs.IntVar(&a.ft, "ft", 2, "fault tolerance for replay")
+	oflags := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := core.ValidateWorkers(a.workers); err != nil {
+		return err
+	}
+	sess, err := oflags.Start()
+	if err != nil {
+		return err
+	}
+	if sess.Registry != nil {
+		sess.Registry.SetLabel("seed", strconv.FormatInt(a.seed, 10))
+	}
+	var runErr error
+	switch {
+	case a.gen:
+		runErr = a.runGen()
+	case a.statsFile != "":
+		runErr = a.runStats(a.statsFile)
+	case a.replayFile != "":
+		runErr = a.runReplay(a.replayFile, sess)
+	case a.monte > 0:
+		runErr = a.runMonteCarlo(a.monte, sess)
+	default:
+		fs.Usage()
+		runErr = fmt.Errorf("pick one of -gen, -stats, -replay, -montecarlo")
+	}
+	if err := sess.Finish(); runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+func (a *app) options(s int64) trace.GenerateOptions {
 	return trace.GenerateOptions{
-		Nodes: *nodes, DrivesPerNode: *drives,
-		NodeMTTFHours: *nodeMTTF, DriveMTTFHours: *driveMTTF,
-		LatentFaultsPerDriveHour: *latent,
-		HorizonHours:             *years * params.HoursPerYear,
+		Nodes: a.nodes, DrivesPerNode: a.drives,
+		NodeMTTFHours: a.nodeMTTF, DriveMTTFHours: a.driveMTTF,
+		LatentFaultsPerDriveHour: a.latent,
+		HorizonHours:             a.years * params.HoursPerYear,
 		Seed:                     s,
 	}
 }
 
-func newStore() (*storage.System, error) {
+func (a *app) newStore() (*storage.System, error) {
 	sys, err := storage.NewSystem(storage.Config{
-		Nodes: *nodes, DrivesPerNode: *drives,
-		RedundancySetSize: *rsetSize, FaultTolerance: *ft,
+		Nodes: a.nodes, DrivesPerNode: a.drives,
+		RedundancySetSize: a.rsetSize, FaultTolerance: a.ft,
 		DriveCapacityBytes: 8 << 20,
 	})
 	if err != nil {
@@ -81,46 +141,16 @@ func newStore() (*storage.System, error) {
 	return sys, nil
 }
 
-func run() error {
-	oflags = obs.AddFlags(flag.CommandLine)
-	flag.Parse()
-	sess, err := oflags.Start()
+func (a *app) runGen() error {
+	tr, err := trace.Generate(a.options(a.seed))
 	if err != nil {
 		return err
 	}
-	if sess.Registry != nil {
-		sess.Registry.SetLabel("seed", strconv.FormatInt(*seed, 10))
+	fmt.Fprintf(a.stderr, "generating trace with seed %d\n", a.seed)
+	if a.out == "" {
+		return tr.WriteCSV(a.stdout)
 	}
-	var runErr error
-	switch {
-	case *gen:
-		runErr = runGen()
-	case *statsFile != "":
-		runErr = runStats(*statsFile)
-	case *replayFile != "":
-		runErr = runReplay(*replayFile, sess)
-	case *monte > 0:
-		runErr = runMonteCarlo(*monte, sess)
-	default:
-		flag.Usage()
-		runErr = fmt.Errorf("pick one of -gen, -stats, -replay, -montecarlo")
-	}
-	if err := sess.Finish(); runErr == nil {
-		runErr = err
-	}
-	return runErr
-}
-
-func runGen() error {
-	tr, err := trace.Generate(options(*seed))
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "generating trace with seed %d\n", *seed)
-	if *out == "" {
-		return tr.WriteCSV(os.Stdout)
-	}
-	f, err := os.Create(*out)
+	f, err := os.Create(a.out)
 	if err != nil {
 		return err
 	}
@@ -141,67 +171,67 @@ func readTrace(path string) (*trace.Trace, error) {
 	return trace.ReadCSV(f)
 }
 
-func runStats(path string) error {
+func (a *app) runStats(path string) error {
 	tr, err := readTrace(path)
 	if err != nil {
 		return err
 	}
 	st := tr.Stats()
-	fmt.Printf("geometry: %d nodes × %d drives, horizon %.0f h\n", tr.Nodes, tr.DrivesPerNode, tr.HorizonHours)
-	fmt.Printf("events: %d node failures, %d drive failures, %d latent faults\n",
+	fmt.Fprintf(a.stdout, "geometry: %d nodes × %d drives, horizon %.0f h\n", tr.Nodes, tr.DrivesPerNode, tr.HorizonHours)
+	fmt.Fprintf(a.stdout, "events: %d node failures, %d drive failures, %d latent faults\n",
 		st.NodeFailures, st.DriveFailures, st.LatentFaults)
 	return nil
 }
 
-func runReplay(path string, sess *obs.Session) error {
+func (a *app) runReplay(path string, sess *obs.Session) error {
 	tr, err := readTrace(path)
 	if err != nil {
 		return err
 	}
-	*nodes, *drives = tr.Nodes, tr.DrivesPerNode
-	sys, err := newStore()
+	a.nodes, a.drives = tr.Nodes, tr.DrivesPerNode
+	sys, err := a.newStore()
 	if err != nil {
 		return err
 	}
 	rep, err := trace.Replay(tr, sys, trace.Policy{
-		RebuildAfterEachFailure: *rebuild,
-		ScrubEveryHours:         *scrubH,
+		RebuildAfterEachFailure: a.rebuild,
+		ScrubEveryHours:         a.scrubH,
 		Obs:                     sess.Registry,
 		Hook:                    sess.Hook(),
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("applied %d events: %d rebuilds (%d shards), %d scrubs (%d latent repairs)\n",
+	fmt.Fprintf(a.stdout, "applied %d events: %d rebuilds (%d shards), %d scrubs (%d latent repairs)\n",
 		rep.EventsApplied, rep.Rebuilds, rep.ShardsRebuilt, rep.Scrubs, rep.LatentRepaired)
-	fmt.Printf("objects lost: %d; unreadable at end: %d\n", rep.ObjectsLost, rep.UnreadableAtEnd)
+	fmt.Fprintf(a.stdout, "objects lost: %d; unreadable at end: %d\n", rep.ObjectsLost, rep.UnreadableAtEnd)
 	return nil
 }
 
-func runMonteCarlo(n int, sess *obs.Session) error {
+func (a *app) runMonteCarlo(n int, sess *obs.Session) error {
 	// The status closure runs on the progress goroutine, so the tally is
 	// atomic.
 	var lossTraces, totalEvents atomic.Int64
 	progress := sess.Progress("traces", int64(n), func() string {
 		return fmt.Sprintf("%d with data loss", lossTraces.Load())
 	})
-	// Trace s is generated from seedstream.Derive(*seed, s): a pure
+	// Trace s is generated from seedstream.Derive(seed, s): a pure
 	// function of the base seed and the index, so each trace can be
 	// regenerated in isolation and the aggregate tallies are identical at
 	// any worker count. The registry, JSONL sink and progress counter are
 	// all concurrency-safe.
 	runTrace := func(s int) error {
-		tr, err := trace.Generate(options(seedstream.Derive(*seed, uint64(s))))
+		tr, err := trace.Generate(a.options(seedstream.Derive(a.seed, uint64(s))))
 		if err != nil {
 			return err
 		}
-		sys, err := newStore()
+		sys, err := a.newStore()
 		if err != nil {
 			return err
 		}
 		rep, err := trace.Replay(tr, sys, trace.Policy{
-			RebuildAfterEachFailure: *rebuild,
-			ScrubEveryHours:         *scrubH,
+			RebuildAfterEachFailure: a.rebuild,
+			ScrubEveryHours:         a.scrubH,
 			Obs:                     sess.Registry,
 			Hook:                    sess.Hook(),
 		})
@@ -215,7 +245,7 @@ func runMonteCarlo(n int, sess *obs.Session) error {
 		obs.ProgressAdd(progress, 1)
 		return nil
 	}
-	w := *workers
+	w := a.workers
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
@@ -277,8 +307,8 @@ func runMonteCarlo(n int, sess *obs.Session) error {
 		return err
 	}
 	lost := lossTraces.Load()
-	fmt.Printf("%d traces × %.1f years (%d nodes × %d drives, FT %d, base seed %d): %d with data loss (%.2f%%), %.1f events/trace\n",
-		n, *years, *nodes, *drives, *ft, *seed, lost,
+	fmt.Fprintf(a.stdout, "%d traces × %.1f years (%d nodes × %d drives, FT %d, base seed %d): %d with data loss (%.2f%%), %.1f events/trace\n",
+		n, a.years, a.nodes, a.drives, a.ft, a.seed, lost,
 		100*float64(lost)/float64(n), float64(totalEvents.Load())/float64(n))
 	return nil
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenStatsReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-gen", "-out", path, "-nodes", "8", "-drives", "2",
+		"-years", "5", "-node-mttf", "200000", "-drive-mttf", "100000", "-seed", "4"},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("gen: %v (stderr %q)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "seed 4") {
+		t.Errorf("generation seed not reported on stderr: %q", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{"-stats", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "geometry: 8 nodes × 2 drives") {
+		t.Errorf("stats geometry wrong:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{"-replay", path, "-r", "4", "-ft", "2"}, &stdout, &stderr); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "applied") || !strings.Contains(out, "objects lost:") {
+		t.Errorf("replay report incomplete:\n%s", out)
+	}
+}
+
+func TestRunGenToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-gen", "-nodes", "4", "-drives", "2", "-seed", "1"}, &stdout, &stderr); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !strings.HasPrefix(stdout.String(), "#") && !strings.Contains(stdout.String(), ",") {
+		t.Errorf("stdout does not look like a CSV trace:\n%.200s", stdout.String())
+	}
+}
+
+func TestRunMonteCarloDeterministicAcrossWorkerCounts(t *testing.T) {
+	outs := make([]string, 2)
+	for i, w := range []string{"1", "4"} {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-montecarlo", "6", "-nodes", "8", "-drives", "2",
+			"-years", "5", "-node-mttf", "200000", "-drive-mttf", "100000",
+			"-r", "4", "-ft", "1", "-seed", "2", "-workers", w},
+			&stdout, &stderr); err != nil {
+			t.Fatalf("workers %s: %v", w, err)
+		}
+		outs[i] = stdout.String()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("monte carlo tallies differ between worker counts:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+	if !strings.Contains(outs[0], "6 traces") {
+		t.Errorf("unexpected summary:\n%s", outs[0])
+	}
+}
+
+func TestRunRequiresASubcommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(nil, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "pick one of") {
+		t.Errorf("run with no mode = %v, want usage error", err)
+	}
+	if !strings.Contains(stderr.String(), "-montecarlo") {
+		t.Error("usage text not printed to stderr")
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-montecarlo", "2", "-workers", "-1"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("run -workers -1 = %v, want a negative-workers error", err)
+	}
+}

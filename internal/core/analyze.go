@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -183,8 +184,15 @@ func LogicalCapacityPB(p params.Parameters, cfg Config) float64 {
 // results and first-error semantics are identical to the serial loop at
 // any worker count.
 func AnalyzeAll(p params.Parameters, cfgs []Config, method Method) ([]Result, error) {
+	return AnalyzeAllCtx(context.Background(), p, cfgs, method)
+}
+
+// AnalyzeAllCtx is AnalyzeAll with cancellation: the context is polled
+// between configurations, so a cancelled call stops within one Analyze
+// and returns ctx.Err().
+func AnalyzeAllCtx(ctx context.Context, p params.Parameters, cfgs []Config, method Method) ([]Result, error) {
 	out := make([]Result, len(cfgs))
-	err := runIndexed(len(cfgs), func(i int) error {
+	err := runIndexedCtx(ctx, len(cfgs), func(i int) error {
 		r, err := Analyze(p, cfgs[i], method)
 		if err != nil {
 			return fmt.Errorf("core: %v: %w", cfgs[i], err)

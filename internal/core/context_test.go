@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestValidateWorkers(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1024} {
+		if err := ValidateWorkers(n); err != nil {
+			t.Errorf("ValidateWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{-1, -4, -1 << 30} {
+		err := ValidateWorkers(n)
+		if err == nil {
+			t.Errorf("ValidateWorkers(%d) = nil, want error", n)
+		} else if err.Error() == "" {
+			t.Errorf("ValidateWorkers(%d) returned an empty error", n)
+		}
+	}
+}
+
+func TestSweepCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SweepCtx(ctx, params.Baseline(), BaselineConfigs(), MethodClosedForm,
+		[]float64{1e5, 2e5, 3e5}, func(p *params.Parameters, x float64) { p.DriveMTTFHours = x })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SweepCtx with cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepCtxCancelledMidFlight(t *testing.T) {
+	// Cancel from inside the apply hook after a few cells have started:
+	// the sweep must stop early and report cancellation, not a grid.
+	for _, workers := range []int{1, 4} {
+		SetMaxWorkers(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = 1e5 + float64(i)*1e3
+		}
+		pts, err := SweepCtx(ctx, params.Baseline(), BaselineConfigs(), MethodClosedForm, xs,
+			func(p *params.Parameters, x float64) {
+				if calls.Add(1) == 3 {
+					cancel()
+				}
+				p.DriveMTTFHours = x
+			})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if pts != nil {
+			t.Fatalf("workers=%d: got partial sweep points alongside a cancellation error", workers)
+		}
+		total := int64(len(xs) * len(BaselineConfigs()))
+		if n := calls.Load(); n >= total {
+			t.Errorf("workers=%d: all %d cells ran despite cancellation", workers, n)
+		}
+	}
+	SetMaxWorkers(0)
+}
+
+func TestAnalyzeAllCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := AnalyzeAllCtx(ctx, params.Baseline(), BaselineConfigs(), MethodClosedForm)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeAllCtx with cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestElasticitiesCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Internal: InternalRAID5, NodeFaultTolerance: 2}
+	_, err := ElasticitiesCtx(ctx, params.Baseline(), cfg, MethodClosedForm, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ElasticitiesCtx with cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCtxVariantsMatchPlainCalls(t *testing.T) {
+	// The Background-context wrappers must be the same computation: byte
+	// and bit identical results, the serving cache's core contract.
+	p := params.Baseline()
+	cfgs := BaselineConfigs()
+	plain, err := AnalyzeAll(p, cfgs, MethodClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := AnalyzeAllCtx(context.Background(), p, cfgs, MethodClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != ctxed[i] {
+			t.Errorf("config %d: ctx result differs from plain result", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,6 +43,13 @@ func elasticityKnobs() []elasticityKnob {
 // events/PB-year to each continuously scalable parameter, holding the
 // configuration fixed. step is the relative perturbation (0 selects 1%).
 func Elasticities(p params.Parameters, cfg Config, method Method, step float64) ([]Elasticity, error) {
+	return ElasticitiesCtx(context.Background(), p, cfg, method, step)
+}
+
+// ElasticitiesCtx is Elasticities with cancellation: the context is
+// polled between knobs, so a cancelled call stops within two Analyze
+// calls and returns ctx.Err().
+func ElasticitiesCtx(ctx context.Context, p params.Parameters, cfg Config, method Method, step float64) ([]Elasticity, error) {
 	if step == 0 {
 		step = 0.01
 	}
@@ -59,7 +67,7 @@ func Elasticities(p params.Parameters, cfg Config, method Method, step float64) 
 	// SetMaxWorkers pool (order-preserving, first-error by knob index).
 	knobs := elasticityKnobs()
 	out := make([]Elasticity, len(knobs))
-	err = runIndexed(len(knobs), func(i int) error {
+	err = runIndexedCtx(ctx, len(knobs), func(i int) error {
 		knob := knobs[i]
 		up := p
 		knob.scale(&up, 1+step)

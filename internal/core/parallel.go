@@ -8,8 +8,16 @@ package core
 // caller-indexed slots, the reduction is by index, and the first-error
 // semantics of the serial loops are preserved by reporting the error of
 // the lowest failing index.
+//
+// Cancellation: runIndexedCtx checks the context before every unit of
+// work, so a cancelled sweep stops within one analysis of the
+// cancellation. A cancelled run returns ctx.Err() unless a genuine
+// analysis error was recorded first; either way the output slots are
+// only partially written and must be discarded.
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,6 +46,18 @@ func MaxWorkers() int {
 	return runtime.NumCPU()
 }
 
+// ValidateWorkers rejects worker counts that SetMaxWorkers (and the
+// simulation estimators) would otherwise silently remap: every -workers
+// flag and server field funnels through here so "-workers -4" is a clear
+// error everywhere instead of an accidental all-CPUs run. 0 remains the
+// documented "use all CPUs" convention.
+func ValidateWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("worker count %d is negative (use 0 for all CPUs, or a positive count)", n)
+	}
+	return nil
+}
+
 // runIndexed evaluates fn(0), …, fn(n-1) on a bounded worker pool and
 // returns the error of the lowest failing index (nil if all succeed).
 // fn must be safe to call concurrently and should write its result into
@@ -45,12 +65,25 @@ func MaxWorkers() int {
 // failing index may be left unwritten. With one worker (or one item) it
 // degenerates to the plain serial loop, returning on the first error.
 func runIndexed(n int, fn func(i int) error) error {
+	return runIndexedCtx(context.Background(), n, fn)
+}
+
+// runIndexedCtx is runIndexed with cancellation: the context is polled
+// before each index is claimed (serial and parallel paths alike), so
+// work stops within one fn call of cancellation. On cancellation the
+// return value is ctx.Err() unless an fn error was recorded first —
+// under cancellation the "lowest failing index" guarantee is waived,
+// since later indices were legitimately never attempted.
+func runIndexedCtx(ctx context.Context, n int, fn func(i int) error) error {
 	workers := MaxWorkers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -70,6 +103,9 @@ func runIndexed(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -99,5 +135,8 @@ func runIndexed(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/params"
@@ -29,6 +30,13 @@ type SweepPoint struct {
 // grid cell (sweep order, then configuration order) is returned, exactly
 // as the serial loop would have reported it.
 func Sweep(base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64)) ([]SweepPoint, error) {
+	return SweepCtx(context.Background(), base, cfgs, method, xs, apply)
+}
+
+// SweepCtx is Sweep with cancellation: the context is polled before each
+// (point, configuration) grid cell, so a cancelled sweep stops within
+// one Analyze and returns ctx.Err() instead of a partial grid.
+func SweepCtx(ctx context.Context, base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64)) ([]SweepPoint, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: empty sweep")
 	}
@@ -41,7 +49,7 @@ func Sweep(base params.Parameters, cfgs []Config, method Method, xs []float64, a
 	}
 	// Flatten to (point, configuration) cells: finer-grained than
 	// fanning out whole points, and it avoids nested pools.
-	err := runIndexed(len(xs)*len(cfgs), func(cell int) error {
+	err := runIndexedCtx(ctx, len(xs)*len(cfgs), func(cell int) error {
 		xi, ci := cell/len(cfgs), cell%len(cfgs)
 		p := base
 		apply(&p, xs[xi])

@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -24,6 +25,19 @@ type TransientOptions struct {
 // with Λ ≥ max_i |q_ii|. The series is truncated when the remaining Poisson
 // mass drops below Epsilon.
 func TransientDistribution(c *Chain, t float64, opts TransientOptions) ([]float64, error) {
+	return TransientDistributionCtx(context.Background(), c, t, opts)
+}
+
+// ctxPollInterval is how many uniformization terms run between context
+// polls: frequent enough that cancellation lands within microseconds for
+// the reliability chains, rare enough that the atomic load vanishes
+// against the sparse matrix-vector product each term costs.
+const ctxPollInterval = 64
+
+// TransientDistributionCtx is TransientDistribution with cancellation:
+// the Poisson series loop polls the context every ctxPollInterval terms
+// (stiff chains can need millions), returning ctx.Err() when cancelled.
+func TransientDistributionCtx(ctx context.Context, c *Chain, t float64, opts TransientOptions) ([]float64, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,6 +117,11 @@ func TransientDistribution(c *Chain, t float64, opts TransientOptions) ([]float6
 		if k >= maxTerms {
 			return nil, fmt.Errorf("markov: uniformization did not converge in %d terms (Λt=%g)", maxTerms, lt)
 		}
+		if k%ctxPollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		vk = applyP(vk)
 		logW += math.Log(lt) - math.Log(float64(k+1))
 	}
@@ -120,7 +139,13 @@ func TransientDistribution(c *Chain, t float64, opts TransientOptions) ([]float6
 // absorbed (in any absorbing state) by time t — for data-loss models, the
 // unreliability F(t).
 func AbsorbedProbabilityByTime(c *Chain, t float64, opts TransientOptions) (float64, error) {
-	pi, err := TransientDistribution(c, t, opts)
+	return AbsorbedProbabilityByTimeCtx(context.Background(), c, t, opts)
+}
+
+// AbsorbedProbabilityByTimeCtx is AbsorbedProbabilityByTime with
+// cancellation, threading the context into the uniformization loop.
+func AbsorbedProbabilityByTimeCtx(ctx context.Context, c *Chain, t float64, opts TransientOptions) (float64, error) {
+	pi, err := TransientDistributionCtx(ctx, c, t, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	Configuration   string  `json:"configuration"`
+	Method          string  `json:"method"`
+	MTTDLHours      float64 `json:"mttdl_hours"`
+	MTTDLYears      float64 `json:"mttdl_years"`
+	EventsPerPBYear float64 `json:"events_per_pb_year"`
+	CapacityPB      float64 `json:"logical_capacity_pb"`
+	MeetsTarget     bool    `json:"meets_paper_target"`
+	TargetMargin    float64 `json:"target_margin"`
+}
+
+// SweepResult is one configuration's analysis at one sweep point.
+type SweepResult struct {
+	Configuration   string  `json:"configuration"`
+	MTTDLHours      float64 `json:"mttdl_hours"`
+	EventsPerPBYear float64 `json:"events_per_pb_year"`
+}
+
+// SweepPointResponse is the analysis of every configuration at one value
+// of the swept parameter.
+type SweepPointResponse struct {
+	X       float64       `json:"x"`
+	Results []SweepResult `json:"results"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep.
+type SweepResponse struct {
+	Parameter string               `json:"parameter"`
+	Method    string               `json:"method"`
+	Points    []SweepPointResponse `json:"points"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate.
+type SimulateResponse struct {
+	Configuration string  `json:"configuration"`
+	Seed          int64   `json:"seed"`
+	Trials        int     `json:"trials"`
+	MeanHours     float64 `json:"mean_hours"`
+	StdErrHours   float64 `json:"stderr_hours"`
+	MeanEvents    float64 `json:"mean_events_per_trial"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck // client writes are best-effort
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Inc()
+	body, merr := json.Marshal(errorResponse{Error: err.Error()})
+	if merr != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, status, body)
+}
+
+// solve runs compute under the server's concurrency bound and in-flight
+// gauge, respecting ctx while queued. The gauge strictly brackets the
+// work: a cancelled or failed solve decrements it on the way out, which
+// is the "cancelled request frees its worker slot" contract.
+func (s *Server) solve(ctx context.Context, compute func(context.Context) ([]byte, error)) ([]byte, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	s.metrics.solves.Inc()
+	return compute(ctx)
+}
+
+// serveCached is the shared compute-endpoint path: cache lookup with
+// single-flight dedup, bounded solve on miss, error mapping.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(context.Context) ([]byte, error)) {
+	start := time.Now()
+	ctx := r.Context()
+	body, _, err := s.cache.do(ctx, key, func() ([]byte, error) {
+		return s.solve(ctx, compute)
+	})
+	s.metrics.latency[endpoint].Observe(time.Since(start).Seconds())
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone (or the server is draining); nobody is
+			// listening for a body. 503 documents the outcome for any
+			// proxy still on the wire.
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled: %v", err))
+			return
+		}
+		// The request parsed and validated but the model rejected it
+		// (incompatible geometry, numerically unusable regime, ...).
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// requirePost guards a compute endpoint's method and counts the request.
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	s.metrics.requests[endpoint].Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", r.URL.Path))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r, "analyze") {
+		return
+	}
+	var req AnalyzeRequest
+	if err := decodeRequest(r.Body, s.opts.MaxBodyBytes, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := req.resolve()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCached(w, r, "analyze", canonicalKey("analyze", job), func(context.Context) ([]byte, error) {
+		// A single analysis is one closed-form evaluation or one small
+		// dense solve — there is no loop worth a cancellation point.
+		res, err := core.Analyze(job.Params, job.Config, job.Method)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(analyzeResponseFrom(res))
+	})
+}
+
+func analyzeResponseFrom(res core.Result) AnalyzeResponse {
+	target := core.PaperTarget()
+	return AnalyzeResponse{
+		Configuration:   res.Config.String(),
+		Method:          res.Method.String(),
+		MTTDLHours:      res.MTTDLHours,
+		MTTDLYears:      res.MTTDLHours / params.HoursPerYear,
+		EventsPerPBYear: res.EventsPerPBYear,
+		CapacityPB:      res.LogicalCapacityPB,
+		MeetsTarget:     target.Meets(res),
+		TargetMargin:    target.Margin(res),
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r, "sweep") {
+		return
+	}
+	var req SweepRequest
+	if err := decodeRequest(r.Body, s.opts.MaxBodyBytes, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := req.resolve(s.opts.MaxGridCells)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCached(w, r, "sweep", canonicalKey("sweep", job), func(ctx context.Context) ([]byte, error) {
+		apply := sweepKnobs[job.Parameter]
+		points, err := core.SweepCtx(ctx, job.Params, job.Configs, job.Method, job.Values, apply)
+		if err != nil {
+			return nil, err
+		}
+		resp := SweepResponse{
+			Parameter: job.Parameter,
+			Method:    job.Method.String(),
+			Points:    make([]SweepPointResponse, len(points)),
+		}
+		for i, pt := range points {
+			results := make([]SweepResult, len(pt.Results))
+			for j, res := range pt.Results {
+				results[j] = SweepResult{
+					Configuration:   res.Config.String(),
+					MTTDLHours:      res.MTTDLHours,
+					EventsPerPBYear: res.EventsPerPBYear,
+				}
+			}
+			resp.Points[i] = SweepPointResponse{X: pt.X, Results: results}
+		}
+		return json.Marshal(resp)
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r, "simulate") {
+		return
+	}
+	var req SimulateRequest
+	if err := decodeRequest(r.Body, s.opts.MaxBodyBytes, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := req.resolve(s.opts.MaxSimTrials)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	config := req.Config
+	s.serveCached(w, r, "simulate", canonicalKey("simulate", job), func(ctx context.Context) ([]byte, error) {
+		// Workers 0 = all CPUs. The estimate is bit-identical at any
+		// worker count, so the choice is invisible in the response —
+		// the precondition for caching a Monte Carlo result at all.
+		est, err := sim.EstimateMTTDLParallelCtx(ctx, job.Scenario, job.Seed, job.Trials, job.MaxEvts, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg, _ := config.resolve() // already validated during resolve
+		return json.Marshal(SimulateResponse{
+			Configuration: cfg.String(),
+			Seed:          job.Seed,
+			Trials:        est.Trials,
+			MeanHours:     est.MeanHours,
+			StdErrHours:   est.StdErr,
+			MeanEvents:    est.MeanEvts,
+		})
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("/healthz requires GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, []byte(`{"status":"ok"}`))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("/metrics requires GET"))
+		return
+	}
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w) //nolint:errcheck // client writes are best-effort
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteJSON(w) //nolint:errcheck // client writes are best-effort
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHandlerValidation(t *testing.T) {
+	s := New(Options{MaxGridCells: 64, MaxSimTrials: 100, MaxBodyBytes: 4096})
+	h := s.Handler()
+	cases := []struct {
+		name       string
+		path       string
+		body       string
+		wantStatus int
+		wantSubstr string
+	}{
+		{"bad json", "/v1/analyze", `{"config":`, http.StatusBadRequest, "invalid request body"},
+		{"trailing garbage", "/v1/analyze", `{"config":{"internal":"raid5","ft":2}} extra`, http.StatusBadRequest, "trailing content"},
+		{"unknown field", "/v1/analyze", `{"config":{"internal":"raid5","ft":2},"bogus":1}`, http.StatusBadRequest, "bogus"},
+		{"unknown internal", "/v1/analyze", `{"config":{"internal":"raid7","ft":2}}`, http.StatusBadRequest, "raid7"},
+		{"zero ft", "/v1/analyze", `{"config":{"internal":"raid5","ft":0}}`, http.StatusBadRequest, "fault tolerance"},
+		{"unknown method", "/v1/analyze", `{"config":{"internal":"raid5","ft":2},"method":"magic"}`, http.StatusBadRequest, "magic"},
+		{"unknown preset", "/v1/analyze", `{"preset":"cloud","config":{"internal":"raid5","ft":2}}`, http.StatusBadRequest, "preset"},
+		{"bad params", "/v1/analyze", `{"params":{"node_mttf_hours":-1},"config":{"internal":"raid5","ft":2}}`, http.StatusBadRequest, "NodeMTTFHours"},
+		{"incompatible geometry", "/v1/analyze", `{"params":{"redundancy_set_size":2},"config":{"internal":"none","ft":3}}`, http.StatusUnprocessableEntity, "too small"},
+		{"oversized body", "/v1/analyze", `{"config":{"internal":"raid5","ft":2},"params":{` + strings.Repeat(" ", 5000) + `}}`, http.StatusBadRequest, "invalid request body"},
+		{"sweep no configs", "/v1/sweep", `{"parameter":"drive_mttf_hours","values":[1e5]}`, http.StatusBadRequest, "at least one config"},
+		{"sweep no values", "/v1/sweep", `{"parameter":"drive_mttf_hours","configs":[{"internal":"none","ft":2}]}`, http.StatusBadRequest, "at least one value"},
+		{"sweep bad parameter", "/v1/sweep", `{"parameter":"warp_factor","values":[1],"configs":[{"internal":"none","ft":2}]}`, http.StatusBadRequest, "warp_factor"},
+		{"oversized grid", "/v1/sweep", `{"parameter":"drive_mttf_hours","values":[` + manyValues(65) + `],"configs":[{"internal":"none","ft":2}]}`, http.StatusBadRequest, "exceeds the limit"},
+		{"simulate too few trials", "/v1/simulate", `{"config":{"internal":"none","ft":2},"trials":1}`, http.StatusBadRequest, "at least 2"},
+		{"simulate too many trials", "/v1/simulate", `{"config":{"internal":"none","ft":2},"trials":101}`, http.StatusBadRequest, "exceeds the limit"},
+		{"simulate bad repair", "/v1/simulate", `{"config":{"internal":"none","ft":2},"trials":10,"repair":"gamma"}`, http.StatusBadRequest, "gamma"},
+		{"simulate negative max events", "/v1/simulate", `{"config":{"internal":"none","ft":2},"trials":10,"max_events_per_trial":-5}`, http.StatusBadRequest, "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, h, tc.path, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body %s", w.Code, tc.wantStatus, w.Body.String())
+			}
+			var e errorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+				t.Fatalf("error body is not JSON: %v (%s)", err, w.Body.String())
+			}
+			if e.Error == "" {
+				t.Fatal("error message is empty")
+			}
+			if !strings.Contains(e.Error, tc.wantSubstr) {
+				t.Errorf("error %q does not mention %q", e.Error, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+func manyValues(n int) string {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%d", 100000+i)
+	}
+	return strings.Join(vals, ",")
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	for path, method := range map[string]string{
+		"/v1/analyze": http.MethodGet,
+		"/v1/sweep":   http.MethodGet,
+		"/healthz":    http.MethodPost,
+		"/metrics":    http.MethodPost,
+	} {
+		req := httptest.NewRequest(method, path, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", method, path, w.Code)
+		}
+	}
+}
+
+func TestAnalyzeHappyPathAndCacheIdentity(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	body := `{"config":{"internal":"raid5","ft":2},"method":"exact-chain"}`
+	first := postJSON(t, h, "/v1/analyze", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body.String())
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Configuration != "FT 2, Internal RAID 5" || resp.MTTDLHours <= 0 {
+		t.Fatalf("implausible response %+v", resp)
+	}
+	if resp.MTTDLYears == 0 || resp.EventsPerPBYear <= 0 || resp.CapacityPB <= 0 {
+		t.Fatalf("derived fields missing: %+v", resp)
+	}
+
+	// A repeat must be a byte-identical cache hit, and a differently
+	// spelled identical request (explicit baseline values) must share
+	// the entry.
+	second := postJSON(t, h, "/v1/analyze", body)
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("cached response differs from fresh response")
+	}
+	spelled := `{"preset":"baseline","params":{"node_mttf_hours":400000},"config":{"internal":"raid5","ft":2},"method":"exact-chain"}`
+	third := postJSON(t, h, "/v1/analyze", spelled)
+	if !bytes.Equal(first.Body.Bytes(), third.Body.Bytes()) {
+		t.Error("canonicalization failed: equivalent spelling got a different body")
+	}
+	if solves := s.Registry().Counter("serve.solves").Value(); solves != 1 {
+		t.Errorf("solves = %d, want 1 (canonical key should dedup all three)", solves)
+	}
+	if s.CacheLen() != 1 {
+		t.Errorf("cache len %d, want 1", s.CacheLen())
+	}
+}
+
+// TestConcurrentIdenticalRequestsSolveOnce is the acceptance-criteria
+// hammer: many concurrent identical analyze requests (plus a handful of
+// distinct ones) must produce byte-identical bodies per key with the
+// solve counter incremented exactly once per distinct request —
+// whatever the interleaving, because in-flight dedup and the result
+// cache cover every schedule between them. Run with -race.
+func TestConcurrentIdenticalRequestsSolveOnce(t *testing.T) {
+	s := New(Options{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const identical = 24
+	const distinct = 4
+	bodyFor := func(ft int) string {
+		return fmt.Sprintf(`{"config":{"internal":"none","ft":%d},"method":"exact-chain"}`, ft)
+	}
+	var wg sync.WaitGroup
+	results := make([][]byte, identical+distinct)
+	errs := make([]error, identical+distinct)
+	for g := 0; g < identical+distinct; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ft := 2
+			if g >= identical {
+				ft = 3 + (g-identical)%2 // two other distinct keys
+			}
+			resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(bodyFor(ft)))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[g] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			results[g], errs[g] = io.ReadAll(resp.Body)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", g, err)
+		}
+	}
+	for g := 1; g < identical; g++ {
+		if !bytes.Equal(results[g], results[0]) {
+			t.Fatalf("identical request %d body differs:\n%s\nvs\n%s", g, results[g], results[0])
+		}
+	}
+	// 3 distinct canonical keys (ft 2, 3, 4) → exactly 3 solves.
+	if solves := s.Registry().Counter("serve.solves").Value(); solves != 3 {
+		t.Errorf("solves = %d, want 3", solves)
+	}
+	if hits := s.Registry().Counter("serve.cache.hits").Value(); hits != identical+distinct-3 {
+		t.Errorf("hits = %d, want %d", hits, identical+distinct-3)
+	}
+	if inflight := s.Registry().Gauge("serve.inflight").Value(); inflight != 0 {
+		t.Errorf("inflight gauge %v after all requests finished, want 0", inflight)
+	}
+}
+
+func TestSweepHappyPath(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	body := `{"parameter":"drive_mttf_hours","values":[200000,300000,400000],
+		"configs":[{"internal":"none","ft":2},{"internal":"raid5","ft":2}]}`
+	w := postJSON(t, h, "/v1/sweep", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(resp.Points))
+	}
+	for _, pt := range resp.Points {
+		if len(pt.Results) != 2 {
+			t.Fatalf("results per point = %d, want 2", len(pt.Results))
+		}
+		for _, res := range pt.Results {
+			if res.MTTDLHours <= 0 || res.EventsPerPBYear <= 0 {
+				t.Fatalf("implausible sweep cell %+v", res)
+			}
+		}
+	}
+	// Longer drive MTTF must not hurt reliability.
+	if resp.Points[0].Results[0].MTTDLHours > resp.Points[2].Results[0].MTTDLHours {
+		t.Error("MTTDL fell as drive MTTF improved")
+	}
+}
+
+func TestSimulateHappyPathDeterministic(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	// Accelerated failure rates keep the DES fast: near-baseline rates
+	// would simulate astronomically many events per mission.
+	body := `{"params":{"node_mttf_hours":1000,"drive_mttf_hours":500,"node_set_size":8,
+		"redundancy_set_size":4,"drives_per_node":3},
+		"config":{"internal":"none","ft":2},"seed":7,"trials":50}`
+	first := postJSON(t, h, "/v1/simulate", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body.String())
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trials != 50 || resp.MeanHours <= 0 || resp.Seed != 7 {
+		t.Fatalf("implausible simulate response %+v", resp)
+	}
+	second := postJSON(t, h, "/v1/simulate", body)
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("cached simulate response differs")
+	}
+	if solves := s.Registry().Counter("serve.solves").Value(); solves != 1 {
+		t.Errorf("solves = %d, want 1", solves)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body.String())
+	}
+
+	postJSON(t, h, "/v1/analyze", `{"config":{"internal":"raid6","ft":1}}`)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Counters["serve.requests.analyze"] != 1 || snap.Counters["serve.solves"] != 1 {
+		t.Errorf("metrics snapshot missing serve counters: %v", snap.Counters)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics?format=text", nil))
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "serve.solves") {
+		t.Fatalf("text metrics: %d %q", w.Code, w.Body.String())
+	}
+}

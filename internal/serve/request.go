@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// ParamsPatch is the wire form of a parameter override: every field is a
+// pointer so "absent" and "explicitly the default" are distinguishable.
+// Absent fields keep the preset's value, so a request only spells what
+// it changes — and two requests that reach the same resolved parameter
+// set share one cache entry regardless of spelling.
+type ParamsPatch struct {
+	NodeMTTFHours            *float64 `json:"node_mttf_hours,omitempty"`
+	DriveMTTFHours           *float64 `json:"drive_mttf_hours,omitempty"`
+	HardErrorRate            *float64 `json:"hard_error_rate,omitempty"`
+	DriveCapacityBytes       *float64 `json:"drive_capacity_bytes,omitempty"`
+	NodeSetSize              *int     `json:"node_set_size,omitempty"`
+	RedundancySetSize        *int     `json:"redundancy_set_size,omitempty"`
+	DrivesPerNode            *int     `json:"drives_per_node,omitempty"`
+	DriveMaxIOPS             *float64 `json:"drive_max_iops,omitempty"`
+	DriveTransferBytesPerSec *float64 `json:"drive_transfer_bytes_per_sec,omitempty"`
+	RestripeCommandBytes     *float64 `json:"restripe_command_bytes,omitempty"`
+	RebuildCommandBytes      *float64 `json:"rebuild_command_bytes,omitempty"`
+	LinkSpeedGbps            *float64 `json:"link_speed_gbps,omitempty"`
+	EffectiveLinks           *float64 `json:"effective_links,omitempty"`
+	CapacityUtilization      *float64 `json:"capacity_utilization,omitempty"`
+	RebuildBandwidthFraction *float64 `json:"rebuild_bandwidth_fraction,omitempty"`
+}
+
+// apply overlays the patch's present fields onto p.
+func (pp *ParamsPatch) apply(p *params.Parameters) {
+	if pp == nil {
+		return
+	}
+	setF := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setI := func(dst *int, src *int) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setF(&p.NodeMTTFHours, pp.NodeMTTFHours)
+	setF(&p.DriveMTTFHours, pp.DriveMTTFHours)
+	setF(&p.HardErrorRate, pp.HardErrorRate)
+	setF(&p.DriveCapacityBytes, pp.DriveCapacityBytes)
+	setI(&p.NodeSetSize, pp.NodeSetSize)
+	setI(&p.RedundancySetSize, pp.RedundancySetSize)
+	setI(&p.DrivesPerNode, pp.DrivesPerNode)
+	setF(&p.DriveMaxIOPS, pp.DriveMaxIOPS)
+	setF(&p.DriveTransferBytesPerSec, pp.DriveTransferBytesPerSec)
+	setF(&p.RestripeCommandBytes, pp.RestripeCommandBytes)
+	setF(&p.RebuildCommandBytes, pp.RebuildCommandBytes)
+	setF(&p.LinkSpeedGbps, pp.LinkSpeedGbps)
+	setF(&p.EffectiveLinks, pp.EffectiveLinks)
+	setF(&p.CapacityUtilization, pp.CapacityUtilization)
+	setF(&p.RebuildBandwidthFraction, pp.RebuildBandwidthFraction)
+}
+
+// resolveParams builds the effective parameter set from a preset name
+// ("", "baseline" or "enterprise") and an optional patch, validating the
+// result.
+func resolveParams(preset string, patch *ParamsPatch) (params.Parameters, error) {
+	var p params.Parameters
+	switch preset {
+	case "", "baseline":
+		p = params.Baseline()
+	case "enterprise":
+		p = params.Enterprise()
+	default:
+		return params.Parameters{}, fmt.Errorf("unknown preset %q (valid: baseline, enterprise)", preset)
+	}
+	patch.apply(&p)
+	if err := p.Validate(); err != nil {
+		return params.Parameters{}, err
+	}
+	return p, nil
+}
+
+// ConfigSpec is the wire form of a redundancy configuration.
+type ConfigSpec struct {
+	// Internal is "none", "raid5" or "raid6".
+	Internal string `json:"internal"`
+	// FT is the inter-node fault tolerance (>= 1).
+	FT int `json:"ft"`
+}
+
+// resolve maps the spec onto a validated core.Config.
+func (cs ConfigSpec) resolve() (core.Config, error) {
+	var ir core.InternalRedundancy
+	switch cs.Internal {
+	case "none":
+		ir = core.InternalNone
+	case "raid5":
+		ir = core.InternalRAID5
+	case "raid6":
+		ir = core.InternalRAID6
+	default:
+		return core.Config{}, fmt.Errorf("unknown internal redundancy %q (valid: none, raid5, raid6)", cs.Internal)
+	}
+	cfg := core.Config{Internal: ir, NodeFaultTolerance: cs.FT}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// resolveMethod maps the wire method name ("" = closed-form) onto a
+// core.Method.
+func resolveMethod(name string) (core.Method, error) {
+	switch name {
+	case "", "closed-form":
+		return core.MethodClosedForm, nil
+	case "exact-chain":
+		return core.MethodExactChain, nil
+	case "exact-stable":
+		return core.MethodExactStable, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (valid: closed-form, exact-chain, exact-stable)", name)
+	}
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	Preset string       `json:"preset,omitempty"`
+	Params *ParamsPatch `json:"params,omitempty"`
+	Config ConfigSpec   `json:"config"`
+	Method string       `json:"method,omitempty"`
+}
+
+// analyzeJob is the fully resolved, canonical form of an analyze
+// request: presets and patches are flattened into the complete parameter
+// set, so its JSON encoding is the cache key — two spellings of the same
+// analysis share one entry.
+type analyzeJob struct {
+	Params params.Parameters
+	Config core.Config
+	Method core.Method
+}
+
+func (r AnalyzeRequest) resolve() (analyzeJob, error) {
+	p, err := resolveParams(r.Preset, r.Params)
+	if err != nil {
+		return analyzeJob{}, err
+	}
+	cfg, err := r.Config.resolve()
+	if err != nil {
+		return analyzeJob{}, err
+	}
+	method, err := resolveMethod(r.Method)
+	if err != nil {
+		return analyzeJob{}, err
+	}
+	return analyzeJob{Params: p, Config: cfg, Method: method}, nil
+}
+
+// sweepKnobs maps wire parameter names onto setters for SweepRequest.
+// Integer-valued knobs truncate; their values are validated by
+// params.Validate after application.
+var sweepKnobs = map[string]func(*params.Parameters, float64){
+	"node_mttf_hours":            func(p *params.Parameters, x float64) { p.NodeMTTFHours = x },
+	"drive_mttf_hours":           func(p *params.Parameters, x float64) { p.DriveMTTFHours = x },
+	"hard_error_rate":            func(p *params.Parameters, x float64) { p.HardErrorRate = x },
+	"drive_capacity_bytes":       func(p *params.Parameters, x float64) { p.DriveCapacityBytes = x },
+	"node_set_size":              func(p *params.Parameters, x float64) { p.NodeSetSize = int(x) },
+	"redundancy_set_size":        func(p *params.Parameters, x float64) { p.RedundancySetSize = int(x) },
+	"drives_per_node":            func(p *params.Parameters, x float64) { p.DrivesPerNode = int(x) },
+	"rebuild_command_bytes":      func(p *params.Parameters, x float64) { p.RebuildCommandBytes = x },
+	"restripe_command_bytes":     func(p *params.Parameters, x float64) { p.RestripeCommandBytes = x },
+	"link_speed_gbps":            func(p *params.Parameters, x float64) { p.LinkSpeedGbps = x },
+	"effective_links":            func(p *params.Parameters, x float64) { p.EffectiveLinks = x },
+	"capacity_utilization":       func(p *params.Parameters, x float64) { p.CapacityUtilization = x },
+	"rebuild_bandwidth_fraction": func(p *params.Parameters, x float64) { p.RebuildBandwidthFraction = x },
+}
+
+// SweepParameterNames lists the valid SweepRequest.Parameter values.
+func SweepParameterNames() []string {
+	names := make([]string, 0, len(sweepKnobs))
+	for n := range sweepKnobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SweepRequest is the body of POST /v1/sweep: analyze every config at
+// every value of one swept parameter, everything else held at the
+// resolved base.
+type SweepRequest struct {
+	Preset    string       `json:"preset,omitempty"`
+	Params    *ParamsPatch `json:"params,omitempty"`
+	Configs   []ConfigSpec `json:"configs"`
+	Method    string       `json:"method,omitempty"`
+	Parameter string       `json:"parameter"`
+	Values    []float64    `json:"values"`
+}
+
+// sweepJob is the canonical resolved form of a sweep request.
+type sweepJob struct {
+	Params    params.Parameters
+	Configs   []core.Config
+	Method    core.Method
+	Parameter string
+	Values    []float64
+}
+
+func (r SweepRequest) resolve(maxGridCells int) (sweepJob, error) {
+	p, err := resolveParams(r.Preset, r.Params)
+	if err != nil {
+		return sweepJob{}, err
+	}
+	if len(r.Configs) == 0 {
+		return sweepJob{}, fmt.Errorf("sweep needs at least one config")
+	}
+	cfgs := make([]core.Config, len(r.Configs))
+	for i, cs := range r.Configs {
+		if cfgs[i], err = cs.resolve(); err != nil {
+			return sweepJob{}, fmt.Errorf("configs[%d]: %w", i, err)
+		}
+	}
+	method, err := resolveMethod(r.Method)
+	if err != nil {
+		return sweepJob{}, err
+	}
+	if _, ok := sweepKnobs[r.Parameter]; !ok {
+		return sweepJob{}, fmt.Errorf("unknown sweep parameter %q (valid: %s)",
+			r.Parameter, strings.Join(SweepParameterNames(), ", "))
+	}
+	if len(r.Values) == 0 {
+		return sweepJob{}, fmt.Errorf("sweep needs at least one value")
+	}
+	if cells := len(r.Values) * len(r.Configs); cells > maxGridCells {
+		return sweepJob{}, fmt.Errorf("sweep grid of %d cells (%d values × %d configs) exceeds the limit of %d",
+			cells, len(r.Values), len(r.Configs), maxGridCells)
+	}
+	return sweepJob{Params: p, Configs: cfgs, Method: method, Parameter: r.Parameter, Values: r.Values}, nil
+}
+
+// SimulateRequest is the body of POST /v1/simulate: a Monte Carlo MTTDL
+// estimate of one configuration by the deterministic parallel DES. The
+// worker count is a server resource, not a request knob — the estimator
+// is bit-identical at any worker count, which is what lets the response
+// be cached at all.
+type SimulateRequest struct {
+	Preset string       `json:"preset,omitempty"`
+	Params *ParamsPatch `json:"params,omitempty"`
+	Config ConfigSpec   `json:"config"`
+	// Seed is the base seed of the per-trial seed stream.
+	Seed int64 `json:"seed"`
+	// Trials is the mission count (>= 2).
+	Trials int `json:"trials"`
+	// MaxEventsPerTrial caps one mission's event count (0 = 10 million).
+	MaxEventsPerTrial int `json:"max_events_per_trial,omitempty"`
+	// Repair selects the repair-time distribution: "" or "exponential",
+	// or "deterministic".
+	Repair string `json:"repair,omitempty"`
+}
+
+// simulateJob is the canonical resolved form of a simulate request.
+type simulateJob struct {
+	Scenario sim.Scenario
+	Seed     int64
+	Trials   int
+	MaxEvts  int
+}
+
+func (r SimulateRequest) resolve(maxTrials int) (simulateJob, error) {
+	p, err := resolveParams(r.Preset, r.Params)
+	if err != nil {
+		return simulateJob{}, err
+	}
+	cfg, err := r.Config.resolve()
+	if err != nil {
+		return simulateJob{}, err
+	}
+	var repair sim.RepairDistribution
+	switch r.Repair {
+	case "", "exponential":
+		repair = sim.RepairExponential
+	case "deterministic":
+		repair = sim.RepairDeterministic
+	default:
+		return simulateJob{}, fmt.Errorf("unknown repair distribution %q (valid: exponential, deterministic)", r.Repair)
+	}
+	sc, err := sim.ScenarioFromConfig(p, cfg, repair)
+	if err != nil {
+		return simulateJob{}, err
+	}
+	if r.Trials < 2 {
+		return simulateJob{}, fmt.Errorf("trials %d must be at least 2", r.Trials)
+	}
+	if r.Trials > maxTrials {
+		return simulateJob{}, fmt.Errorf("trials %d exceeds the limit of %d", r.Trials, maxTrials)
+	}
+	maxEvts := r.MaxEventsPerTrial
+	if maxEvts == 0 {
+		maxEvts = 10_000_000
+	}
+	if maxEvts < 1 {
+		return simulateJob{}, fmt.Errorf("max_events_per_trial %d must be positive", r.MaxEventsPerTrial)
+	}
+	return simulateJob{Scenario: sc, Seed: r.Seed, Trials: r.Trials, MaxEvts: maxEvts}, nil
+}
+
+// decodeRequest strictly decodes one JSON document into dst: unknown
+// fields, trailing garbage and oversized bodies are errors, so malformed
+// requests fail loudly instead of half-applying.
+func decodeRequest(body io.Reader, maxBytes int64, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(body, maxBytes+1))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	// A second Decode must see EOF; anything else is trailing content
+	// (or a body past the size limit, truncated mid-document by the
+	// limit reader and surfacing as a syntax error above).
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("invalid request body: trailing content after JSON document")
+	}
+	return nil
+}
+
+// canonicalKey builds the cache key for a resolved job: the endpoint
+// name plus the job's JSON encoding. Jobs are flat structs of numbers
+// and strings, so encoding/json is deterministic (fixed field order,
+// shortest float representation) and equal jobs — however the request
+// spelled them — produce equal keys.
+func canonicalKey(endpoint string, job any) string {
+	b, err := json.Marshal(job)
+	if err != nil {
+		// Jobs are marshalable by construction; this is unreachable.
+		panic(fmt.Sprintf("serve: canonical key for %s: %v", endpoint, err))
+	}
+	return endpoint + ":" + string(b)
+}

@@ -1,0 +1,199 @@
+// Package serve exposes the analysis engine (internal/core), the Markov
+// substrate and the deterministic Monte Carlo estimators as a cached,
+// cancellable HTTP JSON API.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   one configuration's reliability analysis
+//	POST /v1/sweep     a parameter sweep across configurations
+//	POST /v1/simulate  a Monte Carlo MTTDL estimate (deterministic DES)
+//	GET  /healthz      liveness probe
+//	GET  /metrics      obs registry snapshot (JSON; ?format=text)
+//
+// Three properties hold for every compute endpoint:
+//
+//	Caching. Requests are resolved to a canonical job (presets and
+//	patches flattened into the full parameter set) whose JSON encoding
+//	keys an LRU result cache with single-flight deduplication:
+//	concurrent identical requests solve once and all receive the
+//	leader's exact bytes. Because the compute layers are deterministic
+//	at any worker count (PR 2's contract), a cached response is
+//	byte-identical to a fresh solve — the cache is a pure latency
+//	optimization, never a semantic one.
+//
+//	Cancellation. The request context is threaded through the solver hot
+//	loops (core.SweepCtx, sim.EstimateMTTDLParallelCtx, markov
+//	uniformization), so a client disconnect or server drain deadline
+//	stops the grid mid-flight instead of burning CPU on an unwanted
+//	answer. A cancelled solve is never cached; waiters deduplicated onto
+//	it re-elect a new leader.
+//
+//	Bounded concurrency. At most core.MaxWorkers() requests solve
+//	concurrently (a semaphore); the rest queue, respecting their own
+//	contexts. Each solve may itself fan out across the same worker
+//	ceiling — the inner pools are the process-wide bound set by
+//	core.SetMaxWorkers.
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/markov"
+	"repro/internal/obs"
+	"repro/internal/rebuild"
+)
+
+// Options configures a Server. The zero value selects the defaults.
+type Options struct {
+	// CacheEntries caps the result cache (default 256 completed results).
+	CacheEntries int
+	// MaxBodyBytes caps a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxGridCells caps a sweep's values × configs grid (default 4096).
+	MaxGridCells int
+	// MaxSimTrials caps a simulate request's trial count (default 20000).
+	MaxSimTrials int
+	// Registry receives the server's metrics; nil creates a fresh one.
+	// The solver substrates (markov, linalg, rebuild) are instrumented on
+	// it too, so /metrics exposes the full stack.
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxGridCells <= 0 {
+		o.MaxGridCells = 4096
+	}
+	if o.MaxSimTrials <= 0 {
+		o.MaxSimTrials = 20_000
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	return o
+}
+
+// metrics bundles the server's registry handles.
+type metrics struct {
+	requests map[string]*obs.Counter
+	latency  map[string]*obs.Histogram
+	errors   *obs.Counter
+	solves   *obs.Counter
+	inflight *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		requests: make(map[string]*obs.Counter),
+		latency:  make(map[string]*obs.Histogram),
+		errors:   reg.Counter("serve.errors"),
+		solves:   reg.Counter("serve.solves"),
+		inflight: reg.Gauge("serve.inflight"),
+	}
+	for _, ep := range []string{"analyze", "sweep", "simulate"} {
+		m.requests[ep] = reg.Counter("serve.requests." + ep)
+		// 100 µs .. ~1.7 h in doubling buckets: closed forms land at the
+		// bottom, cancelled-at-deadline sweeps at the top.
+		m.latency[ep] = reg.Histogram("serve.request_seconds."+ep, obs.ExpBuckets(1e-4, 2, 26))
+	}
+	return m
+}
+
+// Server is the analysis service. Create with New, mount via Handler,
+// run with Serve, stop with Shutdown.
+type Server struct {
+	opts    Options
+	reg     *obs.Registry
+	metrics *metrics
+	cache   *resultCache
+	// sem bounds concurrently solving requests at core.MaxWorkers()
+	// (captured at construction); waiters respect their own contexts, so
+	// a queued request that disconnects leaves the queue immediately.
+	sem chan struct{}
+	mux *http.ServeMux
+
+	http *http.Server
+	// baseCtx parents every request context; cancelled after drain so
+	// solves orphaned by a forced shutdown stop promptly.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	markov.Instrument(reg)
+	linalg.Instrument(reg)
+	rebuild.Instrument(reg)
+	m := newMetrics(reg)
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		reg:     reg,
+		metrics: m,
+		cache: newResultCache(opts.CacheEntries,
+			reg.Counter("serve.cache.hits"),
+			reg.Counter("serve.cache.misses"),
+			reg.Counter("serve.cache.evictions")),
+		sem:        make(chan struct{}, core.MaxWorkers()),
+		mux:        http.NewServeMux(),
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+	}
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Registry returns the server's metrics registry (the one /metrics
+// snapshots) — tests and embedding binaries read counters through it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the server's routes as an http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheLen returns the number of completed cached results.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// Serve accepts connections on l until Shutdown. Request contexts
+// descend from the server's base context, so Shutdown can cancel
+// orphaned work after the drain deadline.
+func (s *Server) Serve(l net.Listener) error {
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
+	}
+	err := s.http.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections
+// and drains in-flight requests until ctx expires, then cancels the
+// base context so any still-running solves stop instead of computing
+// answers nobody will read. Returns ctx.Err() if the drain timed out.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.http != nil {
+		err = s.http.Shutdown(ctx)
+	}
+	s.cancelBase()
+	return err
+}

@@ -33,6 +33,7 @@ package sim
 // trial that was never started under one schedule may win under another.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -79,7 +80,14 @@ func clampWorkers(workers, units int) int {
 // is bit-identical for every workers value (including 1) at a fixed
 // baseSeed. workers <= 0 selects runtime.NumCPU().
 func EstimateMTTDLParallel(sc Scenario, baseSeed int64, trials, maxEventsPerTrial, workers int) (Estimate, error) {
-	return EstimateMTTDLParallelObserved(sc, baseSeed, trials, maxEventsPerTrial, workers, Observer{})
+	return EstimateMTTDLParallelObservedCtx(context.Background(), sc, baseSeed, trials, maxEventsPerTrial, workers, Observer{})
+}
+
+// EstimateMTTDLParallelCtx is EstimateMTTDLParallel with cancellation:
+// the context is polled before each chunk of missions is claimed, so a
+// cancelled estimate stops within one chunk and returns ctx.Err().
+func EstimateMTTDLParallelCtx(ctx context.Context, sc Scenario, baseSeed int64, trials, maxEventsPerTrial, workers int) (Estimate, error) {
+	return EstimateMTTDLParallelObservedCtx(ctx, sc, baseSeed, trials, maxEventsPerTrial, workers, Observer{})
 }
 
 // EstimateMTTDLParallelObserved is EstimateMTTDLParallel with
@@ -88,6 +96,15 @@ func EstimateMTTDLParallel(sc Scenario, baseSeed int64, trials, maxEventsPerTria
 // at a time, from pool goroutines); metrics use per-worker recorders and
 // the lock-free registry.
 func EstimateMTTDLParallelObserved(sc Scenario, baseSeed int64, trials, maxEventsPerTrial, workers int, ob Observer) (Estimate, error) {
+	return EstimateMTTDLParallelObservedCtx(context.Background(), sc, baseSeed, trials, maxEventsPerTrial, workers, ob)
+}
+
+// EstimateMTTDLParallelObservedCtx is EstimateMTTDLParallelObserved with
+// cancellation. Workers poll the context before claiming each chunk
+// (missionChunk missions), so cancellation latency is bounded by one
+// chunk's worth of missions; a cancelled run returns ctx.Err() (a
+// genuine trial error observed before cancellation wins).
+func EstimateMTTDLParallelObservedCtx(ctx context.Context, sc Scenario, baseSeed int64, trials, maxEventsPerTrial, workers int, ob Observer) (Estimate, error) {
 	if trials < 2 {
 		return Estimate{}, fmt.Errorf("sim: need at least 2 trials, got %d", trials)
 	}
@@ -120,6 +137,9 @@ func EstimateMTTDLParallelObserved(sc Scenario, baseSeed int64, trials, maxEvent
 				recs = newDESRecorders(ob.Metrics)
 			}
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				c := int(next.Add(1)) - 1
 				if c >= numChunks {
 					return
@@ -182,6 +202,9 @@ func EstimateMTTDLParallelObserved(sc Scenario, baseSeed int64, trials, maxEvent
 	if firstErr != nil {
 		return Estimate{}, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
 	// Deterministic reduction: fold chunks in ascending index order.
 	var agg welford
 	var evts float64
@@ -204,6 +227,14 @@ func EstimateMTTDLParallelObserved(sc Scenario, baseSeed int64, trials, maxEvent
 // workers value at a fixed baseSeed. workers <= 0 selects
 // runtime.NumCPU().
 func EstimateMTTABiasedParallel(c *markov.Chain, baseSeed int64, cycles int, delta, repairThreshold float64, workers int) (BiasedEstimate, error) {
+	return EstimateMTTABiasedParallelCtx(context.Background(), c, baseSeed, cycles, delta, repairThreshold, workers)
+}
+
+// EstimateMTTABiasedParallelCtx is EstimateMTTABiasedParallel with
+// cancellation: workers poll the context before claiming each chunk of
+// cycleChunk cycles, so a cancelled estimate stops within one chunk and
+// returns ctx.Err().
+func EstimateMTTABiasedParallelCtx(ctx context.Context, c *markov.Chain, baseSeed int64, cycles int, delta, repairThreshold float64, workers int) (BiasedEstimate, error) {
 	if err := c.Validate(); err != nil {
 		return BiasedEstimate{}, err
 	}
@@ -236,6 +267,9 @@ func EstimateMTTABiasedParallel(c *markov.Chain, baseSeed int64, cycles int, del
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				k := int(next.Add(1)) - 1
 				if k >= numChunks {
 					return
@@ -281,6 +315,9 @@ func EstimateMTTABiasedParallel(c *markov.Chain, baseSeed int64, cycles int, del
 	wg.Wait()
 	if firstErr != nil {
 		return BiasedEstimate{}, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return BiasedEstimate{}, err
 	}
 	var total biasedSums
 	for k := range chunkSums {

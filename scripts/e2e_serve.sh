@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end check of nsr-serve from outside the process: boot on a
+# random port, probe /healthz, run one /v1/analyze round-trip, then
+# SIGTERM and require a clean (exit 0) graceful shutdown.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)/nsr-serve
+out=$(mktemp)
+trap 'rm -rf "$(dirname "$bin")" "$out"' EXIT
+
+go build -o "$bin" ./cmd/nsr-serve
+
+"$bin" -addr 127.0.0.1:0 >"$out" 2>&1 &
+pid=$!
+
+# The first stdout line announces the bound address.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^nsr-serve: listening on //p' "$out" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "server died early:"; cat "$out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never announced its address"; cat "$out"; exit 1; }
+echo "serving on $addr"
+
+curl -fsS "http://$addr/healthz" | grep -q '"ok"' || { echo "healthz failed"; exit 1; }
+
+body=$(curl -fsS -X POST "http://$addr/v1/analyze" \
+    -H 'Content-Type: application/json' \
+    -d '{"config":{"internal":"raid5","ft":2}}')
+echo "$body" | grep -q '"mttdl_hours"' || { echo "analyze failed: $body"; exit 1; }
+
+# A repeat of the same request must be a cache hit.
+curl -fsS -X POST "http://$addr/v1/analyze" \
+    -H 'Content-Type: application/json' \
+    -d '{"config":{"internal":"raid5","ft":2}}' >/dev/null
+hits=$(curl -fsS "http://$addr/metrics?format=text" | awk '$1 == "counter" && $2 == "serve.cache.hits" {print $3}')
+[ "${hits:-0}" -ge 1 ] || { echo "expected a cache hit, counter is ${hits:-absent}"; exit 1; }
+
+kill -TERM "$pid"
+if wait "$pid"; then
+    echo "graceful shutdown: exit 0"
+else
+    status=$?
+    echo "shutdown exited $status:"; cat "$out"; exit "$status"
+fi
+grep -q "shutting down" "$out" || { echo "no drain announcement"; cat "$out"; exit 1; }
+echo "e2e OK"
