@@ -461,6 +461,105 @@ func BenchmarkLUSolveNoAlloc(b *testing.B) {
 	}
 }
 
+// Sparse CTMC solve path benchmarks (BENCH_sparse.json).
+
+// benchAbsorbingChain builds a deterministic layered absorbing chain with
+// n transient states — the banded, low-degree structure reliability
+// chains have, scaled past the paper's sizes. Rates stay within two
+// orders of magnitude so both solve paths are far from conditioning
+// limits and the comparison measures arithmetic, not luck.
+func benchAbsorbingChain(n int) *markov.Chain {
+	rng := rand.New(rand.NewSource(int64(n)))
+	const width = 8
+	layers := (n + width - 1) / width
+	c := markov.NewChain()
+	name := func(l, w int) string { return fmt.Sprintf("s%d_%d", l, w) }
+	c.SetInitial(name(0, 0))
+	c.SetAbsorbing("A")
+	for l := 0; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			from := name(l, w)
+			// Forward-biased: drift toward absorption keeps MTTA ~ O(layers)
+			// and the system far from conditioning limits at every n (a
+			// backward-biased walk would make MTTA — and κ — exponential
+			// in depth, and the benchmark would measure garbage).
+			if l == layers-1 {
+				c.AddRate(from, "A", 0.5+rng.Float64())
+			} else {
+				c.AddRate(from, name(l+1, rng.Intn(width)), 0.5+rng.Float64())
+			}
+			if w+1 < width {
+				c.AddRate(from, name(l, w+1), 0.3*rng.Float64())
+			}
+			if l > 0 {
+				c.AddRate(from, name(l-1, rng.Intn(width)), 0.3*rng.Float64())
+			}
+		}
+	}
+	return c.Freeze()
+}
+
+// benchAbsorption measures one Solver solving the same frozen chain
+// repeatedly — the sweep-grid steady state — with the dense→sparse
+// crossover pinned to force one path.
+func benchAbsorption(b *testing.B, n, minStates int) {
+	b.Helper()
+	ch := benchAbsorbingChain(n)
+	prev := markov.SetSparseMinStates(minStates)
+	defer markov.SetSparseMinStates(prev)
+	s := markov.NewSolver()
+	if _, err := s.MTTA(ch); err != nil { // warm buffers and the symbolic cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MTTA(ch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAbsorptionSparse is the CSR symbolic/numeric path: after the
+// first solve the topology cache is warm, so each iteration is numeric
+// refactor + transpose solve only.
+func BenchmarkAbsorptionSparse(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchAbsorption(b, n, 1) })
+	}
+}
+
+// BenchmarkAbsorptionDense is the same workload forced through dense
+// partial-pivot LU — the pre-sparse baseline. n=4096 runs ~a minute per
+// iteration; use -benchtime=1x when recording it.
+func BenchmarkAbsorptionDense(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchAbsorption(b, n, 1<<30) })
+	}
+}
+
+// BenchmarkSweepSparseReuse measures a Section 7 style sweep at r=48,
+// ft=7 (255 transient states per cell, well past the crossover): every
+// grid cell reuses the pooled chain topology and the cached symbolic
+// factorization, refilling numeric values only.
+func BenchmarkSweepSparseReuse(b *testing.B) {
+	p := params.Baseline()
+	p.RedundancySetSize = 48
+	cfgs := []core.Config{{Internal: core.InternalNone, NodeFaultTolerance: 7}}
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(200_000 + i)
+	}
+	apply := func(p *params.Parameters, x float64) { p.DriveMTTFHours = x }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Sweep(p, cfgs, core.MethodExactChain, xs, apply); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(xs)*len(cfgs)), "cells")
+}
+
 // BenchmarkStorageRebuild measures the distributed rebuild data path.
 func BenchmarkStorageRebuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {

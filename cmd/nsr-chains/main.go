@@ -67,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		s.States, s.Transient, s.Absorbing, s.Transitions)
 	fmt.Fprintf(stdout, "rate span: %.3g .. %.3g per hour (stiffness %.3g)\n",
 		s.MinRate, s.MaxRate, s.MaxRate/s.MinRate)
+	if sp, err := markov.AbsorptionSparseStats(chain); err == nil {
+		fmt.Fprintf(stdout, "absorption matrix: %dx%d, %d nonzeros (density %.3g), LU fill-in %d (%.2fx)\n",
+			sp.N, sp.N, sp.NNZ, sp.Density, sp.FactorNNZ, sp.FillRatio)
+	}
 
 	mttdl, err := markov.MTTA(chain)
 	if err != nil {

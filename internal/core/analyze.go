@@ -114,8 +114,10 @@ func Analyze(p params.Parameters, cfg Config, method Method) (Result, error) {
 		case MethodClosedForm:
 			mttdl = closedform.NIRMTTDLGeneral(in, k)
 		case MethodExactChain:
+			ch := model.NIRChain(in, k)
 			var err error
-			mttdl, err = markov.MTTA(model.NIRChain(in, k))
+			mttdl, err = markov.MTTA(ch)
+			model.ReleaseChain(ch)
 			if err != nil {
 				return Result{}, fmt.Errorf("core: solving NIR chain: %w", err)
 			}
@@ -146,8 +148,10 @@ func Analyze(p params.Parameters, cfg Config, method Method) (Result, error) {
 		case MethodClosedForm:
 			mttdl = closedform.IRMTTDL(in, k)
 		case MethodExactChain:
+			ch := model.IRChain(in, k)
 			var err error
-			mttdl, err = markov.MTTA(model.IRChain(in, k))
+			mttdl, err = markov.MTTA(ch)
+			model.ReleaseChain(ch)
 			if err != nil {
 				return Result{}, fmt.Errorf("core: solving IR chain: %w", err)
 			}

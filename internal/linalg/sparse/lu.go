@@ -1,0 +1,299 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Symbolic is the pattern half of a sparse LU factorization: the
+// fill-reducing ordering and the exact nonzero structure of L and U for
+// every matrix sharing the analyzed pattern. It is immutable after
+// Analyze and safe for concurrent use by multiple Numeric objects.
+//
+// With P the permutation induced by the ordering, the factorization is
+// P·A·Pᵀ = L·U with L unit lower triangular and U upper triangular. The
+// permutation is symmetric (rows and columns alike), so the diagonal of
+// A stays on the diagonal — which is what makes static pivoting viable
+// for the diagonally dominant absorption matrices this package serves.
+type Symbolic struct {
+	n    int
+	perm []int // perm[k] = original index eliminated at step k
+	inv  []int // inv[perm[k]] = k
+
+	// L's strictly-lower pattern and U's pattern (diagonal first, then
+	// strictly-upper), row-wise with ascending columns, CSR-style.
+	lp, up []int
+	li, ui []int
+
+	annz int // nnz of the analyzed matrix, for fill statistics
+}
+
+// Analyze computes the fill-reducing ordering and the L/U fill pattern
+// for the pattern of a. Every matrix with the same pattern can be
+// factored against the result with Refactor. It returns an error if a
+// is not square, violates CSR invariants, or has a structurally zero
+// diagonal entry (no stored A[i][i]), which static pivoting cannot
+// repair.
+func Analyze(a *CSR) (*Symbolic, error) {
+	if err := a.Valid(); err != nil {
+		return nil, err
+	}
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: Analyze requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	s := &Symbolic{
+		n:    n,
+		perm: minDegreeOrder(n, a.RowPtr, a.Col),
+		inv:  make([]int, n),
+		lp:   make([]int, n+1),
+		up:   make([]int, n+1),
+		annz: a.NNZ(),
+	}
+	for k, orig := range s.perm {
+		s.inv[orig] = k
+	}
+
+	// Row-merge symbolic factorization on B = P·A·Pᵀ: the pattern of
+	// row i of LU is the closure of B's row i under "for each k < i in
+	// the pattern, merge U's row k (columns > k)". A dense boolean
+	// workspace with an ascending scan keeps it simple and exactly
+	// deterministic; the cost is paid once per topology.
+	w := make([]bool, n)
+	cols := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		orig := s.perm[i]
+		diag := false
+		for p := a.RowPtr[orig]; p < a.RowPtr[orig+1]; p++ {
+			j := s.inv[a.Col[p]]
+			w[j] = true
+			if j == i {
+				diag = true
+			}
+		}
+		if !diag {
+			return nil, fmt.Errorf("sparse: structurally zero diagonal at original row %d", orig)
+		}
+		for k := 0; k < i; k++ {
+			if !w[k] {
+				continue
+			}
+			for p := s.up[k] + 1; p < s.up[k+1]; p++ { // skip U's diagonal
+				w[s.ui[p]] = true
+			}
+		}
+		// Gather: L part (k < i) then U part (diagonal first).
+		cols = cols[:0]
+		for j := 0; j < n; j++ {
+			if w[j] {
+				cols = append(cols, j)
+				w[j] = false
+			}
+		}
+		for _, j := range cols {
+			if j < i {
+				s.li = append(s.li, j)
+			} else {
+				s.ui = append(s.ui, j)
+			}
+		}
+		s.lp[i+1] = len(s.li)
+		s.up[i+1] = len(s.ui)
+	}
+	return s, nil
+}
+
+// N returns the dimension of the analyzed pattern.
+func (s *Symbolic) N() int { return s.n }
+
+// LNNZ returns the number of stored entries in L (excluding the unit
+// diagonal).
+func (s *Symbolic) LNNZ() int { return len(s.li) }
+
+// UNNZ returns the number of stored entries in U (including the
+// diagonal).
+func (s *Symbolic) UNNZ() int { return len(s.ui) }
+
+// FactorNNZ returns the total stored entries of the factors, counting
+// L's implicit unit diagonal.
+func (s *Symbolic) FactorNNZ() int { return len(s.li) + len(s.ui) + s.n }
+
+// FillRatio returns FactorNNZ relative to the analyzed matrix's nnz —
+// 1.0 means the factorization added no fill at all.
+func (s *Symbolic) FillRatio() float64 {
+	if s.annz == 0 {
+		return 1
+	}
+	return float64(s.FactorNNZ()) / float64(s.annz)
+}
+
+// Numeric holds the value half of a factorization: L and U values over
+// a Symbolic pattern, plus the scatter workspace. Refactor overwrites
+// the values in place, so one Numeric amortizes across every matrix
+// that shares the pattern. Not safe for concurrent use.
+type Numeric struct {
+	s          *Symbolic
+	lval, uval []float64
+	w          []float64 // scatter workspace, zero between calls
+	y          []float64 // solve scratch (permuted intermediate)
+}
+
+// NewNumeric allocates value storage for the pattern. The returned
+// Numeric must be filled with Refactor before solving.
+func NewNumeric(s *Symbolic) *Numeric {
+	return &Numeric{
+		s:    s,
+		lval: make([]float64, len(s.li)),
+		uval: make([]float64, len(s.ui)),
+		w:    make([]float64, s.n),
+		y:    make([]float64, s.n),
+	}
+}
+
+// Symbolic returns the pattern this Numeric factors against.
+func (nu *Numeric) Symbolic() *Symbolic { return nu.s }
+
+// Refactor computes the LU values for a, whose pattern must be the one
+// passed to Analyze (same dimensions and stored positions; values are
+// free). It performs no allocation. It returns ErrSingular if a pivot
+// is exactly zero; the Numeric is then unusable until a successful
+// Refactor.
+func (nu *Numeric) Refactor(a *CSR) error {
+	s := nu.s
+	if a.Rows != s.n || a.Cols != s.n {
+		panic(fmt.Sprintf("sparse: Refactor matrix %dx%d vs analyzed dimension %d", a.Rows, a.Cols, s.n))
+	}
+	if a.NNZ() != s.annz {
+		panic(fmt.Sprintf("sparse: Refactor matrix has %d nonzeros, analyzed pattern has %d", a.NNZ(), s.annz))
+	}
+	w := nu.w
+	for i := 0; i < s.n; i++ {
+		// Scatter B's row i (row perm[i] of A, columns renamed) into the
+		// workspace. Every position lands inside row i's LU pattern.
+		orig := s.perm[i]
+		for p := a.RowPtr[orig]; p < a.RowPtr[orig+1]; p++ {
+			w[s.inv[a.Col[p]]] = a.Val[p]
+		}
+		// Eliminate along the L pattern in ascending column order
+		// (Doolittle ikj), clearing each workspace slot as it finalizes.
+		for p := s.lp[i]; p < s.lp[i+1]; p++ {
+			k := s.li[p]
+			m := w[k] / nu.uval[s.up[k]]
+			nu.lval[p] = m
+			w[k] = 0
+			if m == 0 {
+				continue
+			}
+			for q := s.up[k] + 1; q < s.up[k+1]; q++ {
+				w[s.ui[q]] -= m * nu.uval[q]
+			}
+		}
+		// Gather the U part and clear the workspace behind it.
+		for p := s.up[i]; p < s.up[i+1]; p++ {
+			j := s.ui[p]
+			nu.uval[p] = w[j]
+			w[j] = 0
+		}
+		if nu.uval[s.up[i]] == 0 {
+			return fmt.Errorf("%w: zero pivot at elimination step %d (original row %d)", linalg.ErrSingular, i, orig)
+		}
+	}
+	return nil
+}
+
+// SolveInto solves A·x = b, writing x into dst and returning it. It
+// mirrors linalg.LU.SolveInto: caller-owned output, dst must not alias
+// b, both length N, 0 allocs/op.
+func (nu *Numeric) SolveInto(dst, b []float64) []float64 {
+	s := nu.s
+	n := s.n
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("sparse: SolveInto lengths dst=%d b=%d vs dimension %d", len(dst), len(b), n))
+	}
+	if n > 0 && &dst[0] == &b[0] {
+		panic("sparse: SolveInto dst must not alias b")
+	}
+	y := nu.y
+	// y = P·b, then L·U·y = P·b by substitution on the sparse rows.
+	for i := 0; i < n; i++ {
+		y[i] = b[s.perm[i]]
+	}
+	for i := 0; i < n; i++ {
+		v := y[i]
+		for p := s.lp[i]; p < s.lp[i+1]; p++ {
+			v -= nu.lval[p] * y[s.li[p]]
+		}
+		y[i] = v
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := y[i]
+		for p := s.up[i] + 1; p < s.up[i+1]; p++ {
+			v -= nu.uval[p] * y[s.ui[p]]
+		}
+		y[i] = v / nu.uval[s.up[i]]
+	}
+	// x = Pᵀ·y.
+	for i := 0; i < n; i++ {
+		dst[s.perm[i]] = y[i]
+	}
+	return dst
+}
+
+// SolveTransposeInto solves Aᵀ·x = b, writing x into dst and returning
+// it. work is caller-owned scratch, mirroring linalg.LU: dst may alias
+// b, dst must not alias work, all three length N, 0 allocs/op.
+func (nu *Numeric) SolveTransposeInto(dst, b, work []float64) []float64 {
+	s := nu.s
+	n := s.n
+	if len(b) != n || len(dst) != n || len(work) != n {
+		panic(fmt.Sprintf("sparse: SolveTransposeInto lengths dst=%d b=%d work=%d vs dimension %d", len(dst), len(b), len(work), n))
+	}
+	if n > 0 && &dst[0] == &work[0] {
+		panic("sparse: SolveTransposeInto dst must not alias work")
+	}
+	y := work
+	// (P·A·Pᵀ)ᵀ = Uᵀ·Lᵀ, so solve Uᵀ·Lᵀ·(P·x) = P·b. Both triangular
+	// solves run in "push" form over the row-major factors: once y[k]
+	// is final, its contribution is pushed into the rows below (Uᵀ,
+	// ascending) or above (Lᵀ, descending).
+	for i := 0; i < n; i++ {
+		y[i] = b[s.perm[i]]
+	}
+	for k := 0; k < n; k++ {
+		v := y[k] / nu.uval[s.up[k]]
+		y[k] = v
+		if v == 0 {
+			continue
+		}
+		for p := s.up[k] + 1; p < s.up[k+1]; p++ {
+			y[s.ui[p]] -= nu.uval[p] * v
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := y[k]
+		if v == 0 {
+			continue
+		}
+		for p := s.lp[k]; p < s.lp[k+1]; p++ {
+			y[s.li[p]] -= nu.lval[p] * v
+		}
+	}
+	for i := 0; i < n; i++ {
+		dst[s.perm[i]] = y[i]
+	}
+	return dst
+}
+
+// Factorize is the convenience path: Analyze + NewNumeric + Refactor.
+func Factorize(a *CSR) (*Numeric, error) {
+	s, err := Analyze(a)
+	if err != nil {
+		return nil, err
+	}
+	nu := NewNumeric(s)
+	if err := nu.Refactor(a); err != nil {
+		return nil, err
+	}
+	return nu, nil
+}

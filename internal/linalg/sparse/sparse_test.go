@@ -1,0 +1,280 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// randDiagDominant builds a random row diagonally dominant matrix with
+// the given off-diagonal fill probability — the regime the absorption
+// matrices live in, where static pivoting is provably stable.
+func randDiagDominant(rng *rand.Rand, n int, p float64) *linalg.Matrix {
+	a := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		var row float64
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				v := rng.Float64()
+				a.Set(i, j, -v)
+				row += v
+			}
+		}
+		a.Set(i, i, row+rng.Float64()+0.1)
+	}
+	return a
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if s := math.Max(math.Abs(a[i]), 1); d/s > worst {
+			worst = d / s
+		}
+	}
+	return worst
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randDiagDominant(rng, 12, 0.3)
+	m := FromDense(a)
+	if err := m.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	back := m.Dense()
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if back.At(i, j) != a.At(i, j) {
+				t.Fatalf("roundtrip mismatch at (%d,%d)", i, j)
+			}
+			if m.At(i, j) != a.At(i, j) {
+				t.Fatalf("At mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if m.NNZ() != len(m.Val) {
+		t.Fatalf("NNZ %d vs %d vals", m.NNZ(), len(m.Val))
+	}
+	if d := m.Density(); d <= 0 || d > 1 {
+		t.Fatalf("density %v out of range", d)
+	}
+}
+
+func TestValidCatchesViolations(t *testing.T) {
+	good := FromDense(randDiagDominant(rand.New(rand.NewSource(2)), 6, 0.4))
+	cases := []struct {
+		name   string
+		break_ func(*CSR)
+	}{
+		{"rowptr length", func(m *CSR) { m.RowPtr = m.RowPtr[:len(m.RowPtr)-1] }},
+		{"rowptr start", func(m *CSR) { m.RowPtr[0] = 1 }},
+		{"rowptr decrease", func(m *CSR) { m.RowPtr[1], m.RowPtr[2] = m.RowPtr[2]+1, m.RowPtr[1] }},
+		{"column range", func(m *CSR) { m.Col[0] = m.Cols }},
+		{"column order", func(m *CSR) {
+			p := m.RowPtr[0]
+			m.Col[p], m.Col[p+1] = m.Col[p+1], m.Col[p]
+		}},
+		{"nnz mismatch", func(m *CSR) { m.Val = m.Val[:len(m.Val)-1] }},
+	}
+	for _, tc := range cases {
+		m := &CSR{Rows: good.Rows, Cols: good.Cols,
+			RowPtr: append([]int(nil), good.RowPtr...),
+			Col:    append([]int(nil), good.Col...),
+			Val:    append([]float64(nil), good.Val...)}
+		tc.break_(m)
+		if m.Valid() == nil {
+			t.Errorf("%s: Valid accepted a broken matrix", tc.name)
+		}
+	}
+}
+
+func TestMatVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(30)
+		a := randDiagDominant(rng, n, 0.25)
+		m := FromDense(a)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := m.MulVecInto(make([]float64, n), x)
+		gotT := m.VecMulInto(make([]float64, n), x)
+		for i := 0; i < n; i++ {
+			var want, wantT float64
+			for j := 0; j < n; j++ {
+				want += a.At(i, j) * x[j]
+				wantT += a.At(j, i) * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-12*(math.Abs(want)+1) {
+				t.Fatalf("MulVec mismatch at %d: %v vs %v", i, got[i], want)
+			}
+			if math.Abs(gotT[i]-wantT) > 1e-12*(math.Abs(wantT)+1) {
+				t.Fatalf("VecMul mismatch at %d: %v vs %v", i, gotT[i], wantT)
+			}
+		}
+	}
+}
+
+func TestLUMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		a := randDiagDominant(rng, n, 0.15)
+		f, err := linalg.Factorize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nu, err := Factorize(FromDense(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xd := f.Solve(append([]float64(nil), b...))
+		xs := nu.SolveInto(make([]float64, n), b)
+		if d := maxRelDiff(xd, xs); d > 1e-11 {
+			t.Fatalf("trial %d n=%d: solve diverges from dense by %g", trial, n, d)
+		}
+		td := f.SolveTranspose(append([]float64(nil), b...))
+		ts := nu.SolveTransposeInto(make([]float64, n), b, make([]float64, n))
+		if d := maxRelDiff(td, ts); d > 1e-11 {
+			t.Fatalf("trial %d n=%d: transpose solve diverges from dense by %g", trial, n, d)
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := FromDense(randDiagDominant(rng, 40, 0.1))
+	s1, err := Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.perm {
+		if s1.perm[i] != s2.perm[i] {
+			t.Fatalf("ordering not deterministic at %d", i)
+		}
+	}
+	if s1.FactorNNZ() != s2.FactorNNZ() {
+		t.Fatalf("fill not deterministic: %d vs %d", s1.FactorNNZ(), s2.FactorNNZ())
+	}
+}
+
+func TestRefactorMatchesFreshFactorizeBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randDiagDominant(rng, 50, 0.12)
+	ca := FromDense(a)
+	nu, err := Factorize(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New values, same pattern.
+	cb := &CSR{Rows: ca.Rows, Cols: ca.Cols, RowPtr: ca.RowPtr, Col: ca.Col,
+		Val: append([]float64(nil), ca.Val...)}
+	for i := range cb.Val {
+		cb.Val[i] *= 1 + 0.1*rng.Float64()
+	}
+	if err := nu.Refactor(cb); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Factorize(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nu.lval {
+		if nu.lval[i] != fresh.lval[i] {
+			t.Fatalf("refactored L differs from fresh factorization at %d", i)
+		}
+	}
+	for i := range nu.uval {
+		if nu.uval[i] != fresh.uval[i] {
+			t.Fatalf("refactored U differs from fresh factorization at %d", i)
+		}
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := linalg.New(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1) // rows 0 and 1 identical → zero pivot
+	a.Set(2, 2, 1)
+	_, err := Factorize(FromDense(a))
+	if !errors.Is(err, linalg.ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestAnalyzeRejectsZeroDiagonal(t *testing.T) {
+	a := linalg.New(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	if _, err := Analyze(FromDense(a)); err == nil {
+		t.Fatal("Analyze accepted a structurally zero diagonal")
+	}
+}
+
+func TestSolveAliasPanics(t *testing.T) {
+	nu, err := Factorize(FromDense(randDiagDominant(rand.New(rand.NewSource(7)), 5, 0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 5)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SolveInto alias", func() { nu.SolveInto(b, b) })
+	mustPanic("SolveTransposeInto alias", func() { nu.SolveTransposeInto(b, b, b) })
+	mustPanic("SolveInto length", func() { nu.SolveInto(make([]float64, 4), b) })
+}
+
+// TestSteadyStateAllocFree pins the sweep-hot operations at zero
+// allocations: numeric refactorization and both solves.
+func TestSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := FromDense(randDiagDominant(rng, 80, 0.08))
+	nu, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 80)
+	x := make([]float64, 80)
+	work := make([]float64, 80)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := nu.Refactor(a); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Refactor allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { nu.SolveInto(x, b) }); n != 0 {
+		t.Errorf("SolveInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { nu.SolveTransposeInto(x, b, work) }); n != 0 {
+		t.Errorf("SolveTransposeInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { a.MulVecInto(x, b) }); n != 0 {
+		t.Errorf("MulVecInto allocates %v per run", n)
+	}
+}

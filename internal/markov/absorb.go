@@ -63,9 +63,9 @@ func Absorption(c *Chain) (*AbsorptionResult, error) {
 	}
 	res.AbsorptionProbability = make(map[string]float64)
 	for row, s := range trans {
-		for to, rate := range c.rates[s] {
-			if c.absorbing[to] {
-				res.AbsorptionProbability[c.StateName(to)] += tau[row] * rate
+		for _, e := range c.Successors(s) {
+			if c.absorbing[e.To] {
+				res.AbsorptionProbability[c.StateName(e.To)] += tau[row] * e.Rate
 			}
 		}
 	}

@@ -2,14 +2,17 @@
 // absorbing states and the analyses the paper builds on (Trivedi [6]):
 //
 //   - mean time to absorption (the paper's MTTDL) by solving
-//     τ_B·Q_B = -π_B(0) with dense LU factorization;
+//     τ_B·Q_B = -π_B(0) with dense or sparse LU factorization;
 //   - expected time spent in each transient state and absorption
 //     probabilities per absorbing state;
 //   - transient state probabilities via uniformization;
 //   - stochastic path simulation for Monte Carlo cross-validation.
 //
 // Chains are built by naming states and adding transition rates; the
-// package computes generator and absorption matrices on demand.
+// package computes generator and absorption matrices on demand. A built
+// chain can be frozen into an immutable CSR adjacency (sorted edges,
+// allocation-free iteration) and, for sweeps, refilled with new rates
+// over the identical topology.
 package markov
 
 import (
@@ -22,14 +25,37 @@ import (
 // Chain is a CTMC under construction. States are identified by name; the
 // first state added is the initial state unless SetInitial overrides it.
 // The zero value is not usable; call NewChain.
+//
+// A chain starts mutable, with adjacency held in per-state maps. Freeze
+// converts it to an immutable CSR representation: edges sorted by target
+// index per state (the same deterministic order Successors always used),
+// so iteration — and therefore every accumulated floating-point sum — is
+// bit-identical before and after freezing, but frozen iteration is an
+// allocation-free slice view. Model builders freeze once at construction;
+// analysis sweeps refill the frozen topology via BeginRefill/EndRefill.
 type Chain struct {
 	names     []string
 	index     map[string]int
 	absorbing map[int]bool
 	// rates[from] maps to-state → cumulative rate. Self-loops are
-	// rejected; parallel edges accumulate.
+	// rejected; parallel edges accumulate. Nil once frozen.
 	rates   []map[int]float64
 	initial int
+
+	// Frozen CSR adjacency: edges[ptr[i]:ptr[i+1]] are state i's
+	// outgoing edges sorted by target; exit[i] is their sum in that
+	// order. ptr is non-nil exactly when the chain is frozen.
+	ptr   []int
+	edges []Edge
+	exit  []float64
+
+	// refilling marks a frozen chain accepting new rates into its
+	// existing edge set (zeroed by BeginRefill, finalized by EndRefill).
+	refilling bool
+
+	// label is optional caller metadata (model builders tag chains with
+	// their topology family so pools can recycle them).
+	label string
 }
 
 // NewChain returns an empty chain.
@@ -38,10 +64,14 @@ func NewChain() *Chain {
 }
 
 // State returns the index of the named state, creating it if necessary.
-// The first state created becomes the initial state by default.
+// The first state created becomes the initial state by default. Creating
+// a new state on a frozen chain panics.
 func (c *Chain) State(name string) int {
 	if i, ok := c.index[name]; ok {
 		return i
+	}
+	if c.Frozen() {
+		panic(fmt.Sprintf("markov: new state %q on frozen chain", name))
 	}
 	i := len(c.names)
 	c.names = append(c.names, name)
@@ -69,17 +99,40 @@ func (c *Chain) SetAbsorbing(name string) {
 	c.absorbing[i] = true
 }
 
+// SetLabel attaches caller metadata to the chain (e.g. the model
+// builder's topology key). The label has no semantic effect.
+func (c *Chain) SetLabel(label string) { c.label = label }
+
+// Label returns the metadata attached by SetLabel.
+func (c *Chain) Label() string { return c.label }
+
 // AddRate adds a transition with the given rate (per unit time) from one
 // named state to another, creating the states if needed. Rates accumulate
-// across repeated calls for the same edge. It panics on negative rates,
-// self-loops, and transitions out of absorbing states — all of which are
-// modelling bugs, not runtime conditions.
+// across repeated calls for the same edge; zero rates are dropped (no
+// edge is recorded). It panics on negative rates, self-loops, and
+// transitions out of absorbing states — all of which are modelling bugs,
+// not runtime conditions — and on mutating a frozen chain outside a
+// refill.
 func (c *Chain) AddRate(from, to string, rate float64) {
+	if rate == 0 && !c.refilling {
+		return
+	}
+	c.addEdge(from, to, rate)
+}
+
+// AddEdge is AddRate keeping zero-rate edges: the transition becomes part
+// of the chain's structure even when its current rate is zero. Model
+// builders use it so a topology is a function of the model's shape alone
+// — parameter corners that zero a rate (h clamped to 1, a vanishing
+// failure rate) keep the edge, and every chain of the same family shares
+// one CSR pattern that sweeps can refill and solvers can cache.
+func (c *Chain) AddEdge(from, to string, rate float64) {
+	c.addEdge(from, to, rate)
+}
+
+func (c *Chain) addEdge(from, to string, rate float64) {
 	if rate < 0 {
 		panic(fmt.Sprintf("markov: negative rate %v on %s→%s", rate, from, to))
-	}
-	if rate == 0 {
-		return
 	}
 	f := c.State(from)
 	t := c.State(to)
@@ -89,7 +142,101 @@ func (c *Chain) AddRate(from, to string, rate float64) {
 	if c.absorbing[f] {
 		panic(fmt.Sprintf("markov: transition out of absorbing state %s", from))
 	}
+	if c.Frozen() {
+		if !c.refilling {
+			panic(fmt.Sprintf("markov: rate added to frozen chain (%s→%s); use BeginRefill", from, to))
+		}
+		e := c.findEdge(f, t)
+		if e < 0 {
+			panic(fmt.Sprintf("markov: refill edge %s→%s not in frozen topology", from, to))
+		}
+		c.edges[e].Rate += rate
+		return
+	}
 	c.rates[f][t] += rate
+}
+
+// findEdge returns the index into edges of the f→t edge, or -1.
+func (c *Chain) findEdge(f, t int) int {
+	lo, hi := c.ptr[f], c.ptr[f+1]
+	row := c.edges[lo:hi]
+	p := sort.Search(len(row), func(i int) bool { return row[i].To >= t })
+	if p < len(row) && row[p].To == t {
+		return lo + p
+	}
+	return -1
+}
+
+// Freeze converts the chain's adjacency to the immutable CSR form and
+// returns the chain. Edge iteration order (sorted by target index) and
+// the exit-rate summation order are identical to the mutable form, so
+// every downstream result is bit-identical; frozen iteration is an
+// allocation-free slice view. Freeze is idempotent. After freezing, new
+// states and rates panic (refills excepted) — the topology is sealed.
+func (c *Chain) Freeze() *Chain {
+	if c.Frozen() {
+		return c
+	}
+	n := len(c.names)
+	nnz := 0
+	for _, m := range c.rates {
+		nnz += len(m)
+	}
+	c.ptr = make([]int, n+1)
+	c.edges = make([]Edge, 0, nnz)
+	for i := 0; i < n; i++ {
+		start := len(c.edges)
+		for to, r := range c.rates[i] {
+			c.edges = append(c.edges, Edge{To: to, Rate: r})
+		}
+		row := c.edges[start:]
+		sort.Slice(row, func(a, b int) bool { return row[a].To < row[b].To })
+		c.ptr[i+1] = len(c.edges)
+	}
+	c.exit = make([]float64, n)
+	c.recomputeExits()
+	c.rates = nil
+	return c
+}
+
+// Frozen reports whether the chain has been frozen.
+func (c *Chain) Frozen() bool { return c.ptr != nil }
+
+// BeginRefill prepares a frozen chain to receive a new set of rates over
+// its existing topology: every edge rate is zeroed, and AddRate/AddEdge
+// accumulate into the frozen edges until EndRefill. Rates for edges
+// outside the topology panic — refills are for chains of one structural
+// family (same states, same edges), which is what model builders emit
+// for a fixed fault tolerance. It panics on an unfrozen chain.
+func (c *Chain) BeginRefill() {
+	if !c.Frozen() {
+		panic("markov: BeginRefill on unfrozen chain")
+	}
+	for i := range c.edges {
+		c.edges[i].Rate = 0
+	}
+	c.refilling = true
+}
+
+// EndRefill finalizes a refill: exit rates are recomputed (summing the
+// sorted edges, the same order Freeze used, so a refilled chain is
+// bit-identical to a freshly built one) and the chain is sealed again.
+func (c *Chain) EndRefill() {
+	if !c.refilling {
+		panic("markov: EndRefill without BeginRefill")
+	}
+	c.refilling = false
+	c.recomputeExits()
+}
+
+func (c *Chain) recomputeExits() {
+	for i := range c.exit {
+		var s float64
+		for _, e := range c.edges[c.ptr[i]:c.ptr[i+1]] {
+			s += e.Rate
+		}
+		c.exit[i] = s
+	}
 }
 
 // NumStates returns the number of states defined so far.
@@ -111,16 +258,37 @@ func (c *Chain) Initial() int { return c.initial }
 func (c *Chain) IsAbsorbing(i int) bool { return c.absorbing[i] }
 
 // Rate returns the transition rate from state i to state j (0 if no edge).
-func (c *Chain) Rate(i, j int) float64 { return c.rates[i][j] }
+func (c *Chain) Rate(i, j int) float64 {
+	if c.Frozen() {
+		if e := c.findEdge(i, j); e >= 0 {
+			return c.edges[e].Rate
+		}
+		return 0
+	}
+	return c.rates[i][j]
+}
 
 // ExitRate returns the total outgoing rate of state i. Edges are summed
-// in target-index order so the floating-point result is reproducible.
+// in target-index order so the floating-point result is reproducible;
+// frozen chains return the precomputed sum (same order, same bits).
 func (c *Chain) ExitRate(i int) float64 {
+	if c.Frozen() {
+		return c.exit[i]
+	}
 	var s float64
 	for _, e := range c.Successors(i) {
 		s += e.Rate
 	}
 	return s
+}
+
+// OutDegree returns the number of outgoing edges of state i (including
+// structural zero-rate edges on frozen chains).
+func (c *Chain) OutDegree(i int) int {
+	if c.Frozen() {
+		return c.ptr[i+1] - c.ptr[i]
+	}
+	return len(c.rates[i])
 }
 
 // TransientStates returns the indices of non-absorbing states in creation
@@ -147,8 +315,13 @@ func (c *Chain) AbsorbingStates() []int {
 }
 
 // Successors returns the outgoing edges of state i sorted by target index,
-// for deterministic iteration (simulation, generator assembly).
+// for deterministic iteration (simulation, generator assembly). On a
+// frozen chain this is a view into the CSR edge array — no allocation,
+// and the caller must not modify it or hold it across a refill.
 func (c *Chain) Successors(i int) []Edge {
+	if c.Frozen() {
+		return c.edges[c.ptr[i]:c.ptr[i+1]:c.ptr[i+1]]
+	}
 	out := make([]Edge, 0, len(c.rates[i]))
 	for to, r := range c.rates[i] {
 		out = append(out, Edge{To: to, Rate: r})
@@ -165,7 +338,9 @@ type Edge struct {
 
 // Validate reports structural problems: no states, no absorbing state
 // reachable, or transient states with no outgoing rate (which would trap
-// probability mass and make mean time to absorption infinite).
+// probability mass and make mean time to absorption infinite). Structural
+// zero-rate edges (AddEdge) do not count as outgoing rate and do not make
+// an absorbing state reachable.
 func (c *Chain) Validate() error {
 	if len(c.names) == 0 {
 		return fmt.Errorf("markov: chain has no states")
@@ -180,7 +355,7 @@ func (c *Chain) Validate() error {
 		if c.absorbing[i] {
 			continue
 		}
-		if len(c.rates[i]) == 0 {
+		if c.OutDegree(i) == 0 || c.ExitRate(i) == 0 {
 			return fmt.Errorf("markov: transient state %q has no outgoing transitions", c.names[i])
 		}
 	}
@@ -200,10 +375,10 @@ func (c *Chain) absorptionReachable() bool {
 		if c.absorbing[s] {
 			return true
 		}
-		for to := range c.rates[s] {
-			if !seen[to] {
-				seen[to] = true
-				stack = append(stack, to)
+		for _, e := range c.Successors(s) {
+			if e.Rate > 0 && !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
 			}
 		}
 	}

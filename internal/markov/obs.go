@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/linalg/sparse"
 	"repro/internal/obs"
 )
 
@@ -21,6 +22,13 @@ type solverMetrics struct {
 	transientSeconds *obs.Histogram
 	transientTerms   *obs.Histogram
 	truncationError  *obs.Gauge
+
+	sparseSolves        *obs.Counter
+	sparseSymbolicBuild *obs.Counter
+	sparseSymbolicReuse *obs.Counter
+	sparseFallbacks     *obs.Counter
+	sparseNNZ           *obs.Histogram
+	sparseFill          *obs.Histogram
 }
 
 var instr atomic.Pointer[solverMetrics]
@@ -45,7 +53,47 @@ func Instrument(reg *obs.Registry) {
 		transientSeconds:  reg.Histogram("markov.transient.seconds", obs.ExpBuckets(1e-6, 4, 16)),
 		transientTerms:    reg.Histogram("markov.transient.terms", obs.ExpBuckets(1, 4, 16)),
 		truncationError:   reg.Gauge("markov.transient.last_truncation"),
+
+		sparseSolves:        reg.Counter("markov.sparse.solves"),
+		sparseSymbolicBuild: reg.Counter("markov.sparse.symbolic_builds"),
+		sparseSymbolicReuse: reg.Counter("markov.sparse.symbolic_reuse"),
+		sparseFallbacks:     reg.Counter("markov.sparse.dense_fallbacks"),
+		sparseNNZ:           reg.Histogram("markov.sparse.nnz", obs.ExpBuckets(4, 4, 12)),
+		sparseFill:          reg.Histogram("markov.sparse.fill_ratio", obs.ExpBuckets(1, 2, 8)),
 	})
+}
+
+// sparseFellBack records a solve that started sparse but was redone with
+// dense partial pivoting (zero pivot or implausible solution).
+func sparseFellBack() {
+	if m := instr.Load(); m != nil {
+		m.sparseFallbacks.Inc()
+	}
+}
+
+// sparseReuseHit records a symbolic-factorization cache hit (a solve
+// that skipped ordering + symbolic analysis entirely).
+func sparseReuseHit() {
+	if m := instr.Load(); m != nil {
+		m.sparseSymbolicReuse.Inc()
+	}
+}
+
+// sparseSymbolicBuilt records a fresh ordering + symbolic analysis and
+// its fill statistics.
+func sparseSymbolicBuilt(s *sparse.Symbolic) {
+	if m := instr.Load(); m != nil {
+		m.sparseSymbolicBuild.Inc()
+		m.sparseFill.Observe(s.FillRatio())
+	}
+}
+
+// sparseSolveDone records one solve routed through the sparse path.
+func sparseSolveDone(a *sparse.CSR) {
+	if m := instr.Load(); m != nil {
+		m.sparseSolves.Inc()
+		m.sparseNNZ.Observe(float64(a.NNZ()))
+	}
 }
 
 // solveTimer returns a stop function that records one absorption solve,

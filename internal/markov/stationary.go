@@ -22,7 +22,7 @@ func StationaryDistribution(c *Chain) ([]float64, error) {
 		return nil, fmt.Errorf("markov: chain has absorbing states; stationary analysis needs an irreducible chain")
 	}
 	for i := 0; i < n; i++ {
-		if len(c.rates[i]) == 0 {
+		if c.ExitRate(i) == 0 {
 			return nil, fmt.Errorf("markov: state %q has no outgoing transitions", c.names[i])
 		}
 	}

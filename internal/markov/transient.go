@@ -72,21 +72,30 @@ func TransientDistributionCtx(ctx context.Context, c *Chain, t float64, opts Tra
 	lt := lambda * t
 
 	// P = I + Q/Λ applied as a sparse operator: v' = v + (v·Q)/Λ.
-	applyP := func(v []float64) []float64 {
-		out := make([]float64, n)
+	// Frozen chains stream the CSR edge array directly (no per-term
+	// allocation; the double buffer below is the only vector storage).
+	// Either path accumulates each out[to] slot once per source row in
+	// ascending row order, so the result is bit-identical regardless of
+	// representation.
+	frozen := c.Frozen()
+	applyP := func(v, out []float64) {
 		copy(out, v)
 		for i := 0; i < n; i++ {
 			vi := v[i]
 			if vi == 0 {
 				continue
 			}
-			exit := c.ExitRate(i)
-			out[i] -= vi * exit / lambda
-			for to, r := range c.rates[i] {
-				out[to] += vi * r / lambda
+			out[i] -= vi * c.ExitRate(i) / lambda
+			if frozen {
+				for _, e := range c.Successors(i) {
+					out[e.To] += vi * e.Rate / lambda
+				}
+			} else {
+				for to, r := range c.rates[i] {
+					out[to] += vi * r / lambda
+				}
 			}
 		}
-		return out
 	}
 
 	// Accumulate Σ poisson(k; Λt)·π(0)Pᵏ with running Poisson weights.
@@ -99,7 +108,7 @@ func TransientDistributionCtx(ctx context.Context, c *Chain, t float64, opts Tra
 	logW := -lt // log of e^{-Λt}·(Λt)^0/0!
 	sumW := 0.0
 	acc := make([]float64, n)
-	vk := pi
+	vk, next := pi, make([]float64, n)
 	tailCutoff := int(lt+12*math.Sqrt(lt)) + 50
 	terms := 0
 	for k := 0; ; k++ {
@@ -122,7 +131,8 @@ func TransientDistributionCtx(ctx context.Context, c *Chain, t float64, opts Tra
 				return nil, err
 			}
 		}
-		vk = applyP(vk)
+		applyP(vk, next)
+		vk, next = next, vk
 		logW += math.Log(lt) - math.Log(float64(k+1))
 	}
 	// Renormalize the truncated series to reduce bias.

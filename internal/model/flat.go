@@ -96,7 +96,9 @@ func FlatIRChain(in FlatIRInputs) *markov.Chain {
 			}
 		}
 	}
-	return c
+	// Frozen but not pooled: the h·k_K branch makes the edge set
+	// parameter-dependent, so flat chains are one-shot.
+	return c.Freeze()
 }
 
 // HierarchicalIRInputs derives the Section 4.2 hierarchical inputs from

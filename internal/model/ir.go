@@ -25,19 +25,34 @@ func IRChain(in closedform.IRInputs, k int) *markov.Chain {
 	if in.N <= k+1 || in.R < k+1 || in.R > in.N {
 		panic(fmt.Sprintf("model: invalid IR geometry N=%d R=%d k=%d", in.N, in.R, k))
 	}
+	label := "ir/" + strconv.Itoa(k)
+	if c := acquireChain(label); c != nil {
+		c.BeginRefill()
+		buildIR(c, in, k)
+		c.EndRefill()
+		return c
+	}
+	c := markov.NewChain()
+	c.SetLabel(label)
+	c.SetInitial("0")
+	c.SetAbsorbing("loss")
+	buildIR(c, in, k)
+	return c.Freeze()
+}
+
+// buildIR adds the birth-death transitions. AddEdge keeps structural
+// edges at parameter corners, so the topology depends on k alone and
+// recycled chains refill in place.
+func buildIR(c *markov.Chain, in closedform.IRInputs, k int) {
 	n := float64(in.N)
 	lambda := in.LambdaN + in.LambdaArray
 	kk := combinat.CriticalFraction(in.N, in.R, k)
-	c := markov.NewChain()
-	c.SetInitial("0")
-	c.SetAbsorbing("loss")
 	for i := 0; i < k; i++ {
-		c.AddRate(strconv.Itoa(i), strconv.Itoa(i+1), (n-float64(i))*lambda)
+		c.AddEdge(strconv.Itoa(i), strconv.Itoa(i+1), (n-float64(i))*lambda)
 		if i > 0 {
-			c.AddRate(strconv.Itoa(i), strconv.Itoa(i-1), in.MuN)
+			c.AddEdge(strconv.Itoa(i), strconv.Itoa(i-1), in.MuN)
 		}
 	}
-	c.AddRate(strconv.Itoa(k), strconv.Itoa(k-1), in.MuN)
-	c.AddRate(strconv.Itoa(k), "loss", (n-float64(k))*(lambda+kk*in.LambdaSector))
-	return c
+	c.AddEdge(strconv.Itoa(k), strconv.Itoa(k-1), in.MuN)
+	c.AddEdge(strconv.Itoa(k), "loss", (n-float64(k))*(lambda+kk*in.LambdaSector))
 }

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/closedform"
@@ -33,11 +34,19 @@ func NIRChain(in closedform.NIRInputs, k int) *markov.Chain {
 	if in.N <= k+1 || in.R <= k || in.R > in.N || in.D < 1 {
 		panic(fmt.Sprintf("model: invalid NIR geometry N=%d R=%d d=%d k=%d", in.N, in.R, in.D, k))
 	}
+	label := "nir/" + strconv.Itoa(k)
+	if c := acquireChain(label); c != nil {
+		c.BeginRefill()
+		buildNIR(c, in, k, "")
+		c.EndRefill()
+		return c
+	}
 	c := markov.NewChain()
+	c.SetLabel(label)
 	c.SetInitial(padLabel("", k))
 	c.SetAbsorbing("loss")
 	buildNIR(c, in, k, "")
-	return c
+	return c.Freeze()
 }
 
 // padLabel renders a failure stack as the paper's fixed-width label,
@@ -47,7 +56,10 @@ func padLabel(stack string, k int) string {
 }
 
 // buildNIR adds the transitions out of the state with the given failure
-// stack, then recurses into its children.
+// stack, then recurses into its children. Edges are added with AddEdge —
+// kept even at a rate of exactly zero (e.g. h clamped to 1) — so the
+// chain's topology is a function of k alone and refills of a recycled
+// chain always land on existing edges.
 func buildNIR(c *markov.Chain, in closedform.NIRInputs, k int, stack string) {
 	j := len(stack)
 	label := padLabel(stack, k)
@@ -60,12 +72,12 @@ func buildNIR(c *markov.Chain, in closedform.NIRInputs, k int, stack string) {
 		if stack[j-1] == 'd' {
 			mu = in.MuD
 		}
-		c.AddRate(label, padLabel(stack[:j-1], k), mu)
+		c.AddEdge(label, padLabel(stack[:j-1], k), mu)
 	}
 
 	if j == k {
 		// Fully degraded: any further failure loses data.
-		c.AddRate(label, "loss", n*(in.LambdaN+d*in.LambdaD))
+		c.AddEdge(label, "loss", n*(in.LambdaN+d*in.LambdaD))
 		return
 	}
 
@@ -75,12 +87,12 @@ func buildNIR(c *markov.Chain, in closedform.NIRInputs, k int, stack string) {
 		// The next rebuild is critical: sector errors can lose data.
 		hN := hFor(in, stack+"N")
 		hD := hFor(in, stack+"d")
-		c.AddRate(label, padLabel(stack+"N", k), nodeRate*(1-hN))
-		c.AddRate(label, padLabel(stack+"d", k), driveRate*(1-hD))
-		c.AddRate(label, "loss", nodeRate*hN+driveRate*hD)
+		c.AddEdge(label, padLabel(stack+"N", k), nodeRate*(1-hN))
+		c.AddEdge(label, padLabel(stack+"d", k), driveRate*(1-hD))
+		c.AddEdge(label, "loss", nodeRate*hN+driveRate*hD)
 	} else {
-		c.AddRate(label, padLabel(stack+"N", k), nodeRate)
-		c.AddRate(label, padLabel(stack+"d", k), driveRate)
+		c.AddEdge(label, padLabel(stack+"N", k), nodeRate)
+		c.AddEdge(label, padLabel(stack+"d", k), driveRate)
 	}
 	buildNIR(c, in, k, stack+"N")
 	buildNIR(c, in, k, stack+"d")

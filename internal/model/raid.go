@@ -42,7 +42,7 @@ func RAID5Chain(in closedform.ArrayInputs) *markov.Chain {
 	c.AddRate("0", "loss", d*in.LambdaD*h)
 	c.AddRate("1", "0", in.MuD)
 	c.AddRate("1", "loss", (d-1)*in.LambdaD)
-	return c
+	return c.Freeze()
 }
 
 // RAID6Chain builds the Figure 4 chain for a RAID 6 array.
@@ -69,5 +69,5 @@ func RAID6Chain(in closedform.ArrayInputs) *markov.Chain {
 	c.AddRate("1", "loss", (d-1)*in.LambdaD*h)
 	c.AddRate("2", "1", in.MuD)
 	c.AddRate("2", "loss", (d-2)*in.LambdaD)
-	return c
+	return c.Freeze()
 }

@@ -12,9 +12,10 @@ import (
 )
 
 // slowSweepBody builds a sweep that takes seconds on this machine: wide
-// redundancy sets (r=48) at ft=7 make each exact-chain cell ~1ms, and
-// 4096 values of drive MTTF stack those into a multi-second grid with
-// per-cell cancellation granularity.
+// redundancy sets (r=48) at ft=7 make each exact-chain cell ~100µs (the
+// 255-state chain rides the sparse topology-reuse path), and tens of
+// thousands of drive-MTTF values stack those into a multi-second grid
+// with per-cell cancellation granularity.
 func slowSweepBody(n int) string {
 	vals := make([]string, n)
 	for i := range vals {
@@ -32,12 +33,12 @@ func slowSweepBody(n int) string {
 // promptly (worker slot freed, in-flight gauge back to zero) and must
 // not poison the cache — the next request for the same key re-solves.
 func TestSweepCancellationFreesSlotAndCache(t *testing.T) {
-	s := New(Options{MaxGridCells: 8192})
+	s := New(Options{MaxGridCells: 65536})
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
 	inflight := s.Registry().Gauge("serve.inflight")
-	body := slowSweepBody(4096)
+	body := slowSweepBody(32768)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/sweep", strings.NewReader(body))
@@ -93,7 +94,7 @@ func TestShutdownCancelsOrphanedSolve(t *testing.T) {
 	// httptest's server doesn't route request contexts through
 	// serve.Server's base context, so run the real Serve/Shutdown pair
 	// on an ephemeral listener.
-	s := New(Options{MaxGridCells: 8192})
+	s := New(Options{MaxGridCells: 65536})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +105,7 @@ func TestShutdownCancelsOrphanedSolve(t *testing.T) {
 	url := "http://" + l.Addr().String() + "/v1/sweep"
 	errc := make(chan error, 1)
 	go func() {
-		resp, err := http.Post(url, "application/json", strings.NewReader(slowSweepBody(4096)))
+		resp, err := http.Post(url, "application/json", strings.NewReader(slowSweepBody(32768)))
 		if err == nil {
 			resp.Body.Close()
 		}

@@ -288,3 +288,45 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("text metrics: %d %q", w.Code, w.Body.String())
 	}
 }
+
+// TestSparseCountersSurfaceInMetrics drives a sweep big enough to ride
+// the sparse CTMC path (r=48 at ft=7 is a 255-state chain, past the
+// crossover) and checks the markov.sparse.* instrumentation shows up in
+// /metrics: every cell is a sparse solve, and after the first few cells
+// the symbolic factorization is reused, not rebuilt.
+func TestSparseCountersSurfaceInMetrics(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	postJSON(t, h, "/v1/sweep", slowSweepBody(64))
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	c := snap.Counters
+	if c["markov.sparse.solves"] < 64 {
+		t.Errorf("markov.sparse.solves = %d, want >= 64 (one per sweep cell)", c["markov.sparse.solves"])
+	}
+	// Every cell does one topology-cache lookup: a miss builds the
+	// symbolic factorization, a hit reuses it. Earlier tests in this
+	// binary may have warmed the pooled solvers' caches (their builds
+	// landed in other registries), so assert the sum, not the split.
+	if got := c["markov.sparse.symbolic_builds"] + c["markov.sparse.symbolic_reuse"]; got != 64 {
+		t.Errorf("symbolic_builds+symbolic_reuse = %d, want 64 (one lookup per cell)", got)
+	}
+	// 64 cells share one topology and at most one symbolic build per
+	// pooled solver, so most cells must be reuse hits.
+	if c["markov.sparse.symbolic_reuse"] < 1 {
+		t.Errorf("markov.sparse.symbolic_reuse = %d, want >= 1", c["markov.sparse.symbolic_reuse"])
+	}
+	if c["markov.sparse.dense_fallbacks"] != 0 {
+		t.Errorf("markov.sparse.dense_fallbacks = %d, want 0 on this well-conditioned grid", c["markov.sparse.dense_fallbacks"])
+	}
+}
