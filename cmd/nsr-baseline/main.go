@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/params"
+	"repro/internal/version"
 )
 
 func main() {
@@ -36,8 +37,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.IntVar(&p.RedundancySetSize, "r", p.RedundancySetSize, "redundancy set size R")
 	fs.IntVar(&p.DrivesPerNode, "d", p.DrivesPerNode, "drives per node")
 	targetRate := fs.Float64("target", core.PaperTarget().EventsPerPBYear, "reliability target in events per PB-year")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-baseline")
+		return nil
 	}
 
 	method := core.MethodClosedForm

@@ -19,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/params"
 	"repro/internal/rebuild"
+	"repro/internal/version"
 )
 
 func main() {
@@ -35,8 +36,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ft := fs.Int("ft", 2, "inter-node fault tolerance")
 	dot := fs.Bool("dot", false, "emit the chain in Graphviz dot form")
 	sens := fs.Bool("sens", false, "print per-transition MTTDL sensitivities (adjoint method)")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-chains")
+		return nil
 	}
 
 	var ir core.InternalRedundancy

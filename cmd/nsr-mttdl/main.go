@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/rebuild"
+	"repro/internal/version"
 )
 
 // output is the JSON document printed on success.
@@ -57,8 +59,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.Float64Var(&p.RebuildCommandBytes, "block", p.RebuildCommandBytes, "rebuild command size in bytes")
 	fs.Float64Var(&p.LinkSpeedGbps, "link", p.LinkSpeedGbps, "link speed in Gb/s")
 	oflags := obs.AddFlags(fs)
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-mttdl")
+		return nil
 	}
 	sess, err := oflags.Start()
 	if err != nil {
@@ -93,7 +100,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown method %q", *methodName)
 	}
 	cfg := core.Config{Internal: ir, NodeFaultTolerance: *ft}
-	r, err := core.Analyze(p, cfg, method)
+	ctx, root := sess.Trace(context.Background(), "nsr-mttdl")
+	r, err := core.AnalyzeCtx(ctx, p, cfg, method)
+	root.End()
 	if err != nil {
 		sess.Finish() //nolint:errcheck // the analysis error wins
 		return err

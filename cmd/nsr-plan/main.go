@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/params"
 	"repro/internal/spares"
+	"repro/internal/version"
 )
 
 func main() {
@@ -31,8 +32,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	years := fs.Float64("years", 5, "mission length in years")
 	maxUtil := fs.Float64("max-util", 0.97, "maximum acceptable utilization at mission end")
 	threshold := fs.Float64("threshold", 0.9, "utilization threshold for adding spare nodes")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-plan")
+		return nil
 	}
 
 	p := params.Baseline()

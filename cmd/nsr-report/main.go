@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/params"
 	"repro/internal/rebuild"
+	"repro/internal/version"
 )
 
 func main() {
@@ -28,8 +29,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit all tables as a JSON document instead of text")
 	csvDir := fs.String("csv-dir", "", "also write each table to <dir>/<id>.csv")
 	workers := fs.Int("workers", 0, "concurrent analyses per sweep (0 = all CPUs, 1 = serial; results are identical at any setting)")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-report")
+		return nil
 	}
 	if err := core.ValidateWorkers(*workers); err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/rebuild"
+	"repro/internal/version"
 )
 
 func main() {
@@ -35,8 +36,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fig := fs.Int("fig", 0, "figure number 14..20 (0 = all)")
 	workers := fs.Int("workers", 0, "concurrent analyses per sweep (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	oflags := obs.AddFlags(fs)
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-sensitivity")
+		return nil
 	}
 	if err := core.ValidateWorkers(*workers); err != nil {
 		return err

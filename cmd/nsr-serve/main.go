@@ -6,10 +6,13 @@
 //
 //	nsr-serve [-addr :8080] [-workers 0] [-cache 256] [-drain 10s]
 //	          [-grid-cells 4096] [-sim-trials 20000] [-max-body 1048576]
+//	          [-access-log FILE] [-slow 1s] [-trace-out FILE]
+//	          [-pprof-http host:port] [-version]
 //
 // Endpoints: POST /v1/analyze, /v1/sweep, /v1/simulate;
-// GET /healthz, /metrics. SIGINT/SIGTERM drain in-flight requests for
-// -drain, then cancel whatever is left; a clean drain exits 0.
+// GET /healthz, /metrics (Prometheus text by default; ?format=json).
+// SIGINT/SIGTERM drain in-flight requests for -drain, then cancel
+// whatever is left; a clean drain exits 0.
 package main
 
 import (
@@ -24,7 +27,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/version"
 )
 
 func main() {
@@ -32,6 +37,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nsr-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// openSink resolves a log-ish path flag: "" is nil (disabled), "-" is
+// stdout, anything else appends to the named file.
+func openSink(path string, stdout io.Writer) (io.Writer, func() error, error) {
+	switch path {
+	case "":
+		return nil, func() error { return nil }, nil
+	case "-":
+		return stdout, func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -44,19 +65,53 @@ func run(args []string, stdout, stderr io.Writer) error {
 	gridCells := fs.Int("grid-cells", 4096, "maximum sweep grid cells (values × configs)")
 	simTrials := fs.Int("sim-trials", 20_000, "maximum trials per simulate request")
 	maxBody := fs.Int64("max-body", 1<<20, "maximum request body bytes")
+	accessLog := fs.String("access-log", "", "append JSONL access-log lines to this file (\"-\" = stdout)")
+	slow := fs.Duration("slow", time.Second, "mark requests at or above this duration as slow (negative disables)")
+	traceOut := fs.String("trace-out", "", "append every compute request's span tree to this file as JSONL (\"-\" = stdout)")
+	pprofHTTP := fs.String("pprof-http", "", "serve net/http/pprof on this host:port (off by default)")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-serve")
+		return nil
 	}
 	if err := core.ValidateWorkers(*workers); err != nil {
 		return err
 	}
 	core.SetMaxWorkers(*workers)
 
+	accessW, closeAccess, err := openSink(*accessLog, stdout)
+	if err != nil {
+		return err
+	}
+	defer closeAccess() //nolint:errcheck // close errors lose to run errors
+	traceW, closeTrace, err := openSink(*traceOut, stdout)
+	if err != nil {
+		return err
+	}
+	defer closeTrace() //nolint:errcheck // close errors lose to run errors
+	if *pprofHTTP != "" {
+		if _, _, err := net.SplitHostPort(*pprofHTTP); err != nil {
+			return fmt.Errorf("-pprof-http wants host:port: %w", err)
+		}
+		stopProf, err := obs.StartPProf(*pprofHTTP)
+		if err != nil {
+			return err
+		}
+		defer stopProf() //nolint:errcheck // close errors lose to run errors
+		fmt.Fprintf(stdout, "nsr-serve: pprof on %s\n", *pprofHTTP)
+	}
+
 	srv := serve.New(serve.Options{
-		CacheEntries: *cacheN,
-		MaxBodyBytes: *maxBody,
-		MaxGridCells: *gridCells,
-		MaxSimTrials: *simTrials,
+		CacheEntries:  *cacheN,
+		MaxBodyBytes:  *maxBody,
+		MaxGridCells:  *gridCells,
+		MaxSimTrials:  *simTrials,
+		AccessLog:     accessW,
+		SlowThreshold: *slow,
+		TraceWriter:   traceW,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

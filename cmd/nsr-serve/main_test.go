@@ -81,6 +81,13 @@ func TestRunEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
 	}
+	var hz struct {
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil || hz.Version == "" || hz.Go == "" {
+		t.Fatalf("healthz missing build identity: %v %s", err, body)
+	}
 
 	resp, err = http.Post(base+"/v1/analyze", "application/json",
 		strings.NewReader(`{"config":{"internal":"raid5","ft":2}}`))
@@ -105,8 +112,18 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(body), "serve.requests.analyze") {
+	// Default exposition is Prometheus text with sanitized names.
+	if !strings.Contains(string(body), "serve_requests_analyze") {
 		t.Fatalf("metrics missing serve counters: %s", body)
+	}
+	resp, err = http.Get(base + "/metrics?format=json")
+	if err != nil {
+		t.Fatalf("metrics json: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "serve.requests.analyze") {
+		t.Fatalf("json metrics missing serve counters: %s", body)
 	}
 
 	// The graceful path: SIGTERM → drain → run returns nil. The signal
@@ -124,6 +141,16 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if out := stdout.String(); !strings.Contains(out, "shutting down") {
 		t.Errorf("no shutdown announcement in stdout: %q", out)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -version = %v", err)
+	}
+	if !strings.Contains(stdout.String(), "nsr-serve") {
+		t.Errorf("version output missing command name: %q", stdout.String())
 	}
 }
 

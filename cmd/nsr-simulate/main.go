@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/rebuild"
 	"repro/internal/seedstream"
 	"repro/internal/sim"
+	"repro/internal/version"
 )
 
 func main() {
@@ -44,8 +46,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs; 1 = the serial estimator, reproducing earlier releases exactly; >1 uses per-trial seed streams, bit-identical at any worker count)")
 	oflags := obs.AddFlags(fs)
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-simulate")
+		return nil
 	}
 	if err := core.ValidateWorkers(*workers); err != nil {
 		return err
@@ -63,15 +70,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	// The effective seed makes every run reproducible from its logs.
 	fmt.Fprintf(stdout, "seed %d\n", *seed)
+	ctx, root := sess.Trace(context.Background(), "nsr-simulate")
 	var runErr error
 	switch *mode {
 	case "des":
-		runErr = runDES(stdout, *trials, *seed, *workers, sess)
+		runErr = runDES(ctx, stdout, *trials, *seed, *workers, sess)
 	case "biased":
 		runErr = runBiased(stdout, *trials*10, *seed, *workers, sess)
 	default:
 		runErr = fmt.Errorf("unknown mode %q", *mode)
 	}
+	root.End()
 	if err := sess.Finish(); runErr == nil {
 		runErr = err
 	}
@@ -87,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // releases. Any other value runs the parallel estimator, whose per-trial
 // seed streams make the output identical at every worker count — a
 // different (equally valid) sample than the serial path draws.
-func runDES(stdout io.Writer, trials int, seed int64, workers int, sess *obs.Session) error {
+func runDES(ctx context.Context, stdout io.Writer, trials int, seed int64, workers int, sess *obs.Session) error {
 	rng := rand.New(rand.NewSource(seed))
 	fmt.Fprintln(stdout, "Full-system DES vs exact Markov chain (accelerated failures)")
 	fmt.Fprintln(stdout, "config                         chain MTTDL      DES MTTDL        ratio")
@@ -162,8 +171,8 @@ func runDES(stdout io.Writer, trials int, seed int64, workers int, sess *obs.Ses
 		} else {
 			// Each scenario gets its own base seed from the stream, so
 			// any scenario's run can be reproduced in isolation.
-			est, err = sim.EstimateMTTDLParallelObserved(
-				s.sc, seedstream.Derive(seed, uint64(si)), trials, 10_000_000, workers, ob)
+			est, err = sim.EstimateMTTDLParallelObservedCtx(
+				ctx, s.sc, seedstream.Derive(seed, uint64(si)), trials, 10_000_000, workers, ob)
 		}
 		if err != nil {
 			obs.ProgressStop(progress)

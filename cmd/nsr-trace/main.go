@@ -25,6 +25,7 @@ import (
 	"repro/internal/seedstream"
 	"repro/internal/storage"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 func main() {
@@ -81,8 +82,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.IntVar(&a.rsetSize, "r", 8, "redundancy set size for replay")
 	fs.IntVar(&a.ft, "ft", 2, "fault tolerance for replay")
 	oflags := obs.AddFlags(fs)
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version.Print(stdout, "nsr-trace")
+		return nil
 	}
 	if err := core.ValidateWorkers(a.workers); err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"repro/internal/closedform"
 	"repro/internal/markov"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/rebuild"
 )
@@ -73,6 +74,17 @@ type Result struct {
 // Analyze computes the reliability of one configuration under the given
 // parameters.
 func Analyze(p params.Parameters, cfg Config, method Method) (Result, error) {
+	return AnalyzeCtx(context.Background(), p, cfg, method)
+}
+
+// AnalyzeCtx is Analyze carrying the caller's context for tracing: when
+// the context holds an active span (obs.StartSpan), chain acquisition
+// ("chain.freeze" — a fresh build+freeze or a pooled refill) and the
+// exact solve with its sparse stages are attributed as child spans.
+// The context is not a cancellation point — one analysis is a single
+// closed-form evaluation or one chain solve; results are identical to
+// Analyze.
+func AnalyzeCtx(ctx context.Context, p params.Parameters, cfg Config, method Method) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -114,9 +126,11 @@ func Analyze(p params.Parameters, cfg Config, method Method) (Result, error) {
 		case MethodClosedForm:
 			mttdl = closedform.NIRMTTDLGeneral(in, k)
 		case MethodExactChain:
+			_, fsp := obs.StartSpan(ctx, "chain.freeze")
 			ch := model.NIRChain(in, k)
+			fsp.End()
 			var err error
-			mttdl, err = markov.MTTA(ch)
+			mttdl, err = markov.MTTACtx(ctx, ch)
 			model.ReleaseChain(ch)
 			if err != nil {
 				return Result{}, fmt.Errorf("core: solving NIR chain: %w", err)
@@ -148,9 +162,11 @@ func Analyze(p params.Parameters, cfg Config, method Method) (Result, error) {
 		case MethodClosedForm:
 			mttdl = closedform.IRMTTDL(in, k)
 		case MethodExactChain:
+			_, fsp := obs.StartSpan(ctx, "chain.freeze")
 			ch := model.IRChain(in, k)
+			fsp.End()
 			var err error
-			mttdl, err = markov.MTTA(ch)
+			mttdl, err = markov.MTTACtx(ctx, ch)
 			model.ReleaseChain(ch)
 			if err != nil {
 				return Result{}, fmt.Errorf("core: solving IR chain: %w", err)
@@ -197,7 +213,7 @@ func AnalyzeAll(p params.Parameters, cfgs []Config, method Method) ([]Result, er
 func AnalyzeAllCtx(ctx context.Context, p params.Parameters, cfgs []Config, method Method) ([]Result, error) {
 	out := make([]Result, len(cfgs))
 	err := runIndexedCtx(ctx, len(cfgs), func(i int) error {
-		r, err := Analyze(p, cfgs[i], method)
+		r, err := AnalyzeCtx(ctx, p, cfgs[i], method)
 		if err != nil {
 			return fmt.Errorf("core: %v: %w", cfgs[i], err)
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/params"
 )
 
@@ -36,6 +37,12 @@ func Sweep(base params.Parameters, cfgs []Config, method Method, xs []float64, a
 // SweepCtx is Sweep with cancellation: the context is polled before each
 // (point, configuration) grid cell, so a cancelled sweep stops within
 // one Analyze and returns ctx.Err() instead of a partial grid.
+//
+// When the context carries an active span (obs.StartSpan), the grid is
+// traced: one "core.sweep" span brackets the whole grid and each cell's
+// analysis runs under a "core.cell" child carrying the swept x value and
+// configuration index — cells run on worker goroutines, so cell spans
+// from different workers interleave but parent correctly.
 func SweepCtx(ctx context.Context, base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64)) ([]SweepPoint, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: empty sweep")
@@ -43,6 +50,11 @@ func SweepCtx(ctx context.Context, base params.Parameters, cfgs []Config, method
 	if apply == nil {
 		return nil, fmt.Errorf("core: nil apply function")
 	}
+	ctx, sweepSp := obs.StartSpan(ctx, "core.sweep")
+	if sweepSp != nil {
+		sweepSp.SetAttr("cells", len(xs)*len(cfgs))
+	}
+	defer sweepSp.End()
 	out := make([]SweepPoint, len(xs))
 	for i, x := range xs {
 		out[i] = SweepPoint{X: x, Results: make([]Result, len(cfgs))}
@@ -51,9 +63,15 @@ func SweepCtx(ctx context.Context, base params.Parameters, cfgs []Config, method
 	// fanning out whole points, and it avoids nested pools.
 	err := runIndexedCtx(ctx, len(xs)*len(cfgs), func(cell int) error {
 		xi, ci := cell/len(cfgs), cell%len(cfgs)
+		cctx, csp := obs.StartSpan(ctx, "core.cell")
+		if csp != nil {
+			csp.SetAttr("x", xs[xi])
+			csp.SetAttr("config", ci)
+		}
 		p := base
 		apply(&p, xs[xi])
-		r, err := Analyze(p, cfgs[ci], method)
+		r, err := AnalyzeCtx(cctx, p, cfgs[ci], method)
+		csp.End()
 		if err != nil {
 			return fmt.Errorf("core: sweep at x=%v: %w", xs[xi], fmt.Errorf("core: %v: %w", cfgs[ci], err))
 		}

@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -105,8 +106,15 @@ var solverPool = sync.Pool{New: func() any { return NewSolver() }}
 // instead of reallocating; the value is bit-identical to
 // Absorption(c).MeanTimeToAbsorption.
 func MTTA(c *Chain) (float64, error) {
+	return MTTACtx(context.Background(), c)
+}
+
+// MTTACtx is MTTA carrying the caller's context so an active trace
+// (obs.StartSpan) attributes the solve and its sparse/dense stages as
+// child spans. Results are identical to MTTA at any context.
+func MTTACtx(ctx context.Context, c *Chain) (float64, error) {
 	s := solverPool.Get().(*Solver)
-	v, err := s.MTTA(c)
+	v, err := s.MTTACtx(ctx, c)
 	solverPool.Put(s)
 	return v, err
 }

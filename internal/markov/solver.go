@@ -1,11 +1,13 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/linalg"
 	"repro/internal/linalg/sparse"
+	"repro/internal/obs"
 )
 
 // Solver computes mean times to absorption like Absorption, but owns all
@@ -213,7 +215,9 @@ func (s *Solver) assembleSparse(c *Chain) {
 // miss. Hits move to the front; the cache evicts from the back. Hit or
 // miss is invisible in the results: the ordering is a pure function of
 // the pattern, so a cached and a fresh analysis factor identically.
-func (s *Solver) lookupTopology() (*sparse.Numeric, error) {
+// A miss's ordering + symbolic analysis is traced as "sparse.symbolic";
+// hits skip that work and so carry no span.
+func (s *Solver) lookupTopology(ctx context.Context) (*sparse.Numeric, error) {
 	for i, e := range s.cache {
 		if !patternEqual(e.rowptr, e.col, s.sp.RowPtr, s.sp.Col) {
 			continue
@@ -225,7 +229,12 @@ func (s *Solver) lookupTopology() (*sparse.Numeric, error) {
 		sparseReuseHit()
 		return e.num, nil
 	}
+	_, sp := obs.StartSpan(ctx, "sparse.symbolic")
 	sym, err := sparse.Analyze(&s.sp)
+	if sp != nil {
+		sp.SetAttr("nnz", s.sp.NNZ())
+		sp.End()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -274,9 +283,24 @@ func resizeFloats(v []float64, n int) []float64 {
 // symbolic/numeric path; smaller chains are bit-identical to
 // Absorption's MeanTimeToAbsorption via dense LU.
 func (s *Solver) MTTA(c *Chain) (float64, error) {
+	return s.MTTACtx(context.Background(), c)
+}
+
+// MTTACtx is MTTA carrying the caller's context for tracing: when the
+// context holds an active span (obs.StartSpan), the solve and its stages
+// — symbolic analysis, numeric refactorization, triangular solve, dense
+// fallback — are attributed as child spans. The context is not used for
+// cancellation (a single solve is far below any useful cancellation
+// granularity); results are identical to MTTA.
+func (s *Solver) MTTACtx(ctx context.Context, c *Chain) (float64, error) {
 	if err := c.Validate(); err != nil {
 		return 0, err
 	}
+	ctx, solveSp := obs.StartSpan(ctx, "markov.solve")
+	if solveSp != nil {
+		solveSp.SetAttr("states", c.NumStates())
+	}
+	defer solveSp.End()
 	initRow := s.indexTransients(c)
 	if initRow < 0 {
 		return 0, nil // initial state is absorbing
@@ -290,17 +314,22 @@ func (s *Solver) MTTA(c *Chain) (float64, error) {
 	}
 	s.rhs[initRow] = 1
 
+	fellBack := false
 	timer := absorptionTimer(c.NumStates())
 	if m >= sparseMinStates() {
 		s.assembleSparse(c)
 		if float64(s.sp.NNZ()) <= maxSparseDensity*float64(m)*float64(m) {
-			num, err := s.lookupTopology()
+			num, err := s.lookupTopology(ctx)
 			if err == nil {
+				_, rsp := obs.StartSpan(ctx, "sparse.refactor")
 				err = num.Refactor(&s.sp)
+				rsp.End()
 			}
 			if err == nil {
 				// τ_B = π_B(0)·R⁻¹ means Rᵀ·τ = π_B(0).
+				_, ssp := obs.StartSpan(ctx, "sparse.solve")
 				num.SolveTransposeInto(s.tau, s.rhs, s.work)
+				ssp.End()
 				if tauPlausible(s.tau) {
 					sparseSolveDone(&s.sp)
 					if timer != nil {
@@ -312,16 +341,23 @@ func (s *Solver) MTTA(c *Chain) (float64, error) {
 			// Zero pivot, or a solution the static-pivot factorization
 			// cannot certify (see tauPlausible): redo with dense partial
 			// pivoting, the authoritative fallback. Counted, never silent
-			// in the metrics.
+			// in the metrics or the trace.
 			sparseFellBack()
+			fellBack = true
 		}
 		// (Too dense for the sparse path: fall through to dense LU.)
 	}
+	_, dsp := obs.StartSpan(ctx, "dense.solve")
+	if dsp != nil && fellBack {
+		dsp.SetAttr("fallback", true)
+	}
 	s.absorptionMatrixInto(c)
 	if err := linalg.FactorizeInto(&s.f, s.r); err != nil {
+		dsp.End()
 		return 0, fmt.Errorf("markov: absorption matrix: %w", err)
 	}
 	s.f.SolveTransposeInto(s.tau, s.rhs, s.work)
+	dsp.End()
 	if timer != nil {
 		timer(absorptionResidual(s.r, s.tau, initRow))
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,15 +23,21 @@ type Flags struct {
 	PProf string
 	// Events is a path for the JSONL structured-event stream (optional).
 	Events string
+	// TraceOut is a path to write the run's span tree to as JSONL
+	// (optional). Empty disables tracing — StartSpan stays on its
+	// zero-allocation no-op path.
+	TraceOut string
 }
 
-// AddFlags registers -metrics, -progress, -pprof and -events on fs.
+// AddFlags registers -metrics, -progress, -pprof, -events and -trace-out
+// on fs.
 func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Metrics, "metrics", "", "write a JSON metrics snapshot to this file on exit (\"-\" = stdout)")
 	fs.DurationVar(&f.Progress, "progress", 0, "report progress at this interval (e.g. 5s; 0 = silent)")
 	fs.StringVar(&f.PProf, "pprof", "", "serve live pprof on host:port, or capture a CPU profile to this file")
 	fs.StringVar(&f.Events, "events", "", "append structured JSONL events to this file")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the run's span tree to this file as JSONL (\"-\" = stdout)")
 	return f
 }
 
@@ -44,6 +51,11 @@ type Session struct {
 	Registry *Registry
 	// Sink is non-nil when -events was given; it implements Hook.
 	Sink *JSONLSink
+	// Tracer is non-nil when -trace-out was given; it retains span
+	// records for the final JSONL dump, and folds span durations into
+	// Registry (as trace.<name>.seconds histograms) when metrics are
+	// also on.
+	Tracer *Tracer
 
 	flags    *Flags
 	stopProf func() error
@@ -83,7 +95,24 @@ func (f *Flags) Start() (*Session, error) {
 		}
 		s.Sink = sink
 	}
+	if f.TraceOut != "" {
+		s.Tracer = NewTracer()
+		if s.Registry != nil {
+			s.Tracer.SetFold(NewSpanFolder(s.Registry).Fold)
+		}
+	}
 	return s, nil
+}
+
+// Trace roots the run's trace: when -trace-out was given it returns a
+// context carrying the root span (named root) and the span itself;
+// otherwise it returns ctx unchanged and a nil (no-op) span. Callers
+// must End the returned span before Finish.
+func (s *Session) Trace(ctx context.Context, root string) (context.Context, *Span) {
+	if s == nil || s.Tracer == nil {
+		return ctx, nil
+	}
+	return s.Tracer.Start(ctx, root)
 }
 
 // Progress starts a progress reporter if -progress was given; otherwise
@@ -109,6 +138,27 @@ func (s *Session) Finish() error {
 	}
 	if s.Sink != nil {
 		if err := s.Sink.Close(); first == nil {
+			first = err
+		}
+	}
+	if s.Tracer != nil && s.flags.TraceOut != "" {
+		var err error
+		if s.flags.TraceOut == "-" {
+			err = s.Tracer.WriteJSONL(os.Stdout)
+		} else {
+			var f *os.File
+			f, err = os.Create(s.flags.TraceOut)
+			if err == nil {
+				err = s.Tracer.WriteJSONL(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "trace written to %s\n", s.flags.TraceOut)
+				}
+			}
+		}
+		if first == nil {
 			first = err
 		}
 	}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for registry snapshots.
+// The JSON snapshot remains the canonical machine-readable dump; this
+// writer adapts the same data to what a Prometheus scraper expects:
+//
+//   - metric names are the registry names with every character outside
+//     [a-zA-Z0-9_:] replaced by '_' ("serve.cache.hits" →
+//     "serve_cache_hits"); a leading digit is prefixed with '_';
+//   - counters and gauges emit one TYPE comment and one sample;
+//   - histograms emit cumulative le-labelled buckets (including +Inf),
+//     then _sum and _count, per the exposition format;
+//   - registry labels (free-form strings like the effective seed) become
+//     one synthetic "nsr_info" gauge carrying them as label pairs.
+//
+// Output is fully deterministic: metrics sort by name, label keys sort
+// within nsr_info.
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pname := promName(name)
+		var err error
+		if v, ok := s.Counters[name]; ok {
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pname, pname, v)
+		} else if v, ok := s.Gauges[name]; ok {
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pname, pname, promFloat(v))
+		} else {
+			err = writePromHistogram(w, pname, s.Histograms[name])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if len(s.Labels) > 0 {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		pairs := make([]string, len(keys))
+		for i, k := range keys {
+			// %q escapes backslash, quote and newline exactly as the
+			// exposition format requires.
+			pairs[i] = fmt.Sprintf("%s=%q", promName(k), s.Labels[k])
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE nsr_info gauge\nnsr_info{%s} 1\n", strings.Join(pairs, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pname string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pname); err != nil {
+		return err
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pname, promFloat(b.UpperBound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Overflow
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pname, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pname, promFloat(h.Sum), pname, h.Count)
+	return err
+}
+
+// promName sanitizes a registry name into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], prefixing a leading digit with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 sample value (or le bound): shortest
+// round-trip form, with the exposition format's spellings for the
+// non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

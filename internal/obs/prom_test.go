@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// validatePrometheus parses a 0.0.4 text exposition and returns the
+// sample values by full line key (name plus labels), failing the test on
+// any syntactically invalid line, sample without a preceding TYPE, or
+// name outside the declared family.
+func validatePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	var lastFamily string
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := promTypeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("invalid comment line %q", line)
+			}
+			if _, dup := types[m[1]]; dup {
+				t.Fatalf("duplicate TYPE for %q", m[1])
+			}
+			types[m[1]] = m[2]
+			lastFamily = m[1]
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("invalid sample line %q", line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		typ, ok := types[family]
+		if !ok {
+			t.Fatalf("sample %q has no TYPE comment (family %q)", line, family)
+		}
+		if family != lastFamily {
+			t.Fatalf("sample %q outside its TYPE block (last family %q)", line, lastFamily)
+		}
+		if typ != "histogram" && name != family {
+			t.Fatalf("%s sample %q has a suffixed name", typ, line)
+		}
+		if labels != "" {
+			for _, pair := range strings.Split(strings.Trim(labels, "{}"), ",") {
+				if !promLabelRe.MatchString(pair) {
+					t.Fatalf("invalid label pair %q in %q", pair, line)
+				}
+			}
+		}
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			var err error
+			v, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+		}
+		key := name + labels
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.cache.hits").Add(3)
+	reg.Gauge("serve.inflight").Set(2)
+	h := reg.Histogram("markov.solve.seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5) // overflow bucket
+	reg.SetLabel("seed", "42")
+	reg.SetLabel("mode", `d"es\`) // escaping must survive the validator
+
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePrometheus(t, sb.String())
+
+	if v := samples["serve_cache_hits"]; v != 3 {
+		t.Errorf("serve_cache_hits = %v, want 3", v)
+	}
+	if v := samples["serve_inflight"]; v != 2 {
+		t.Errorf("serve_inflight = %v, want 2", v)
+	}
+	// Histogram: cumulative buckets, +Inf equals _count, sum carried.
+	buckets := []struct {
+		key  string
+		want float64
+	}{
+		{`markov_solve_seconds_bucket{le="0.001"}`, 1},
+		{`markov_solve_seconds_bucket{le="0.01"}`, 1},
+		{`markov_solve_seconds_bucket{le="0.1"}`, 2},
+		{`markov_solve_seconds_bucket{le="+Inf"}`, 3},
+		{`markov_solve_seconds_count`, 3},
+	}
+	for _, b := range buckets {
+		if v, ok := samples[b.key]; !ok || v != b.want {
+			t.Errorf("%s = %v (present %v), want %v", b.key, v, ok, b.want)
+		}
+	}
+	if v := samples["markov_solve_seconds_sum"]; math.Abs(v-5.0505) > 1e-9 {
+		t.Errorf("markov_solve_seconds_sum = %v, want 5.0505", v)
+	}
+	// Labels ride the synthetic info gauge.
+	found := false
+	for k, v := range samples {
+		if strings.HasPrefix(k, "nsr_info{") {
+			found = true
+			if v != 1 {
+				t.Errorf("nsr_info = %v, want 1", v)
+			}
+			if !strings.Contains(k, `seed="42"`) || !strings.Contains(k, `mode=`) {
+				t.Errorf("nsr_info labels incomplete: %q", k)
+			}
+		}
+	}
+	if !found {
+		t.Error("no nsr_info sample")
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"z", "a", "m.q", "b.2"} {
+		reg.Counter(n).Inc()
+	}
+	reg.Histogram("h", []float64{1}).Observe(0.5)
+	var first, second strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("exposition not deterministic:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.cache.hits":  "serve_cache_hits",
+		"already_fine:name": "already_fine:name",
+		"9starts.with.num":  "_9starts_with_num",
+		"dash-and space":    "dash_and_space",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -62,8 +62,11 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Labels[k] = v
 		}
 	}
-	for name, m := range r.names {
-		switch m := m.(type) {
+	// Iterate in sorted-name order so snapshot construction — and any
+	// encoding that preserves insertion order — is deterministic rather
+	// than following map iteration.
+	for _, name := range r.sortedNames() {
+		switch m := r.names[name].(type) {
 		case *Counter:
 			s.Counters[name] = m.Value()
 		case *Gauge:

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span tracing. A Tracer owns one trace — a tree of named, timed spans —
+// and is the unit of request scoping: the HTTP service creates one
+// tracer per request, the CLIs one per run. Spans propagate through
+// context.Context, so the solver stack (core → model → markov → sparse)
+// attributes time to stages without any layer knowing who is listening.
+//
+// The disabled path honors the package's zero-overhead contract: when no
+// span rides the context, StartSpan is one context.Value lookup and a
+// nil return — no clock read, no allocation, no atomic. All span methods
+// are nil-safe, so instrumented code never guards:
+//
+//	ctx, sp := obs.StartSpan(ctx, "sparse.refactor")
+//	defer sp.End()
+//
+// costs a predictable branch when tracing is off. Only attribute values
+// that are themselves expensive to compute need a guard (if sp != nil).
+//
+// Enabled, a span is two small allocations (the Span and the derived
+// context); completed spans fold into duration histograms via the
+// tracer's fold callback and are optionally retained as SpanRecords for
+// JSONL export.
+
+// SpanRecord is one completed span, as retained and exported. Start is
+// the offset from the tracer's epoch (its creation time), so records
+// from one trace order and nest consistently without wall-clock
+// ambiguity.
+type SpanRecord struct {
+	// ID is unique within the tracer; Parent is the enclosing span's ID,
+	// 0 for a root.
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"`
+	Name   string `json:"span"`
+	// StartSeconds is the span's start offset from the tracer epoch;
+	// Seconds its duration.
+	StartSeconds float64        `json:"start"`
+	Seconds      float64        `json:"seconds"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is a live (unfinished) span handle. The zero of usefulness is the
+// nil *Span: every method no-ops, which is how the disabled path costs
+// nothing. A Span is owned by the goroutine that started it; SetAttr and
+// End must not race each other for one span, but distinct spans of one
+// tracer may run on distinct goroutines concurrently.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	attrs  map[string]any
+}
+
+// SetAttr attaches a key/value annotation. Nil-safe; on a nil span the
+// arguments are discarded (callers computing an expensive value should
+// guard with sp != nil).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End completes the span: its duration is folded into the tracer's
+// per-stage histograms and, on a retaining tracer, its record is kept
+// for export. Nil-safe; calling End twice records the span twice (a
+// programming error the tracer does not police).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.end(s)
+}
+
+// Tracer collects one trace. Safe for concurrent span start/end from
+// multiple goroutines (sweep cells and DES chunks trace from worker
+// pools). Create with NewTracer.
+type Tracer struct {
+	epoch time.Time
+	fold  func(name string, seconds float64)
+
+	mu     sync.Mutex
+	nextID int64
+	spans  []SpanRecord
+	retain bool
+}
+
+// NewTracer returns a tracer that retains completed spans for export.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), retain: true}
+}
+
+// SetFold installs a callback invoked (outside the tracer's lock) with
+// every completed span's name and duration — the hook that folds spans
+// into per-stage duration histograms (see SpanFolder).
+func (t *Tracer) SetFold(fold func(name string, seconds float64)) { t.fold = fold }
+
+// SetRetain controls whether completed spans are kept for Spans /
+// WriteJSONL. A non-retaining tracer still folds durations — the serve
+// path runs one per request so /metrics sees stage histograms without
+// buffering sweep-sized span sets nobody will read.
+func (t *Tracer) SetRetain(retain bool) {
+	t.mu.Lock()
+	t.retain = retain
+	t.mu.Unlock()
+}
+
+// Start begins a root span (or a child, if ctx already carries a span of
+// this tracer) and returns the derived context that parents subsequent
+// StartSpan calls to it.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	var parent int64
+	if cur, ok := ctx.Value(spanCtxKey{}).(*Span); ok && cur != nil && cur.tr == t {
+		parent = cur.id
+	}
+	s := t.newSpan(name, parent)
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// spanCtxKey keys the current *Span in a context. A zero-size key type
+// converts to interface{} without allocating, keeping the disabled
+// lookup allocation-free.
+type spanCtxKey struct{}
+
+// StartSpan begins a child of the context's current span. When the
+// context carries no span — tracing disabled — it returns ctx unchanged
+// and a nil span whose methods all no-op; the cost is one context.Value
+// walk and a branch, with zero allocation.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	cur, _ := ctx.Value(spanCtxKey{}).(*Span)
+	if cur == nil {
+		return ctx, nil
+	}
+	s := cur.tr.newSpan(name, cur.id)
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+func (t *Tracer) newSpan(name string, parent int64) *Span {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, parent: parent, name: name, start: time.Now()}
+}
+
+func (t *Tracer) end(s *Span) {
+	seconds := time.Since(s.start).Seconds()
+	t.mu.Lock()
+	if t.retain {
+		t.spans = append(t.spans, SpanRecord{
+			ID:           s.id,
+			Parent:       s.parent,
+			Name:         s.name,
+			StartSeconds: s.start.Sub(t.epoch).Seconds(),
+			Seconds:      seconds,
+			Attrs:        s.attrs,
+		})
+	}
+	t.mu.Unlock()
+	if t.fold != nil {
+		t.fold(s.name, seconds)
+	}
+}
+
+// Spans returns the completed spans sorted by start offset (ties by ID,
+// which is assignment order) — a deterministic view regardless of which
+// worker goroutine finished first.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StartSeconds != out[b].StartSeconds {
+			return out[a].StartSeconds < out[b].StartSeconds
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// WriteJSONL writes the completed spans, one JSON object per line, in
+// the deterministic Spans order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanFolder folds span durations into per-stage histograms on a
+// registry: span name "sparse.refactor" feeds histogram
+// "trace.sparse.refactor.seconds". Handles are cached so the registry
+// mutex is paid once per distinct stage, not once per span. Safe for
+// concurrent use; one folder typically serves every request tracer of a
+// process.
+type SpanFolder struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewSpanFolder returns a folder recording into reg.
+func NewSpanFolder(reg *Registry) *SpanFolder {
+	return &SpanFolder{reg: reg, hists: make(map[string]*Histogram)}
+}
+
+// spanBuckets spans 1µs .. ~17.9s in ×4 steps — the same shape as the
+// solver-seconds histograms, wide enough for whole-request roots.
+func spanBuckets() []float64 { return ExpBuckets(1e-6, 4, 13) }
+
+// Fold records one completed span; pass it to Tracer.SetFold.
+func (f *SpanFolder) Fold(name string, seconds float64) {
+	f.mu.Lock()
+	h := f.hists[name]
+	if h == nil {
+		h = f.reg.Histogram("trace."+name+".seconds", spanBuckets())
+		f.hists[name] = h
+	}
+	f.mu.Unlock()
+	h.Observe(seconds)
+}

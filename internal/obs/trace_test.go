@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.Start(context.Background(), "root")
+	root.SetAttr("kind", "test")
+
+	cctx, child := StartSpan(ctx, "child")
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.End()
+	child.End()
+
+	// A sibling started from the root context parents to the root, not to
+	// the (finished) child.
+	_, sib := StartSpan(ctx, "sibling")
+	sib.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	byName := make(map[string]SpanRecord)
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Errorf("child parent = %d, want root %d", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Errorf("grandchild parent = %d, want child %d", byName["grandchild"].Parent, byName["child"].ID)
+	}
+	if byName["sibling"].Parent != byName["root"].ID {
+		t.Errorf("sibling parent = %d, want root %d", byName["sibling"].Parent, byName["root"].ID)
+	}
+	if byName["root"].Attrs["kind"] != "test" {
+		t.Errorf("root attrs = %v", byName["root"].Attrs)
+	}
+	if byName["root"].Seconds < byName["child"].Seconds {
+		t.Errorf("root (%v s) shorter than its child (%v s)",
+			byName["root"].Seconds, byName["child"].Seconds)
+	}
+}
+
+func TestStartSpanDisabledPath(t *testing.T) {
+	ctx := context.Background()
+	rctx, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("StartSpan on a bare context returned a live span")
+	}
+	if rctx != ctx {
+		t.Error("disabled StartSpan derived a new context")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.End()
+}
+
+// TestStartSpanDisabledZeroAlloc pins the tracing-disabled hot path at
+// zero allocations — the contract that lets StartSpan sit inside solver
+// loops unconditionally.
+func TestStartSpanDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, sp := StartSpan(ctx, "sparse.refactor")
+		sp.SetAttr("n", 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled StartSpan allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestTracerJSONLAndFold(t *testing.T) {
+	reg := NewRegistry()
+	folder := NewSpanFolder(reg)
+	tr := NewTracer()
+	tr.SetFold(folder.Fold)
+	ctx, root := tr.Start(context.Background(), "req")
+	_, a := StartSpan(ctx, "stage.a")
+	a.End()
+	_, b := StartSpan(ctx, "stage.a")
+	b.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+	}
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["trace.stage.a.seconds"]; !ok || h.Count != 2 {
+		t.Errorf("trace.stage.a.seconds = %+v, want count 2", h)
+	}
+	if h, ok := snap.Histograms["trace.req.seconds"]; !ok || h.Count != 1 {
+		t.Errorf("trace.req.seconds = %+v, want count 1", h)
+	}
+}
+
+func TestTracerNoRetainStillFolds(t *testing.T) {
+	var folded int
+	tr := NewTracer()
+	tr.SetRetain(false)
+	tr.SetFold(func(string, float64) { folded++ })
+	ctx, root := tr.Start(context.Background(), "req")
+	_, sp := StartSpan(ctx, "stage")
+	sp.End()
+	root.End()
+	if folded != 2 {
+		t.Errorf("folded %d spans, want 2", folded)
+	}
+	if got := tr.Spans(); len(got) != 0 {
+		t.Errorf("non-retaining tracer kept %d spans", len(got))
+	}
+}
+
+// TestConcurrentSpanHammer drives one tracer from many goroutines — the
+// sweep-cell shape — and is the -race probe for span emission.
+func TestConcurrentSpanHammer(t *testing.T) {
+	reg := NewRegistry()
+	folder := NewSpanFolder(reg)
+	tr := NewTracer()
+	tr.SetFold(folder.Fold)
+	ctx, root := tr.Start(context.Background(), "sweep")
+
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				cctx, cell := StartSpan(ctx, "cell")
+				cell.SetAttr("w", w)
+				_, inner := StartSpan(cctx, "solve")
+				inner.End()
+				cell.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Spans()
+	if want := workers*perWorker*2 + 1; len(spans) != want {
+		t.Fatalf("got %d spans, want %d", len(spans), want)
+	}
+	seen := make(map[int64]bool, len(spans))
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms["trace.cell.seconds"]; h.Count != workers*perWorker {
+		t.Errorf("trace.cell.seconds count = %d, want %d", h.Count, workers*perWorker)
+	}
+}
+
+// TestSnapshotEncodingDeterministic pins satellite behavior: two
+// snapshots of the same registry state encode to identical bytes, so
+// /metrics?format=json diffs cleanly across scrapes.
+func TestSnapshotEncodingDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	// Register in an order that disagrees with sorted order.
+	for _, n := range []string{"zeta", "alpha", "mid.dle", "beta.2"} {
+		reg.Counter(n).Inc()
+	}
+	reg.Gauge("g.two").Set(2)
+	reg.Gauge("g.one").Set(1)
+	reg.Histogram("h.b", []float64{1, 2}).Observe(1.5)
+	reg.Histogram("h.a", []float64{1, 2}).Observe(0.5)
+	reg.SetLabel("seed", "7")
+
+	var first, second bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("snapshot encodings differ:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"time"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/sim"
+	"repro/internal/version"
 )
 
 // AnalyzeResponse is the body of a successful POST /v1/analyze.
@@ -80,7 +82,9 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 // solve runs compute under the server's concurrency bound and in-flight
 // gauge, respecting ctx while queued. The gauge strictly brackets the
 // work: a cancelled or failed solve decrements it on the way out, which
-// is the "cancelled request frees its worker slot" contract.
+// is the "cancelled request frees its worker slot" contract. The actual
+// computation runs under a "serve.compute" span, so queueing time is the
+// visible gap between the cache span and the compute span.
 func (s *Server) solve(ctx context.Context, compute func(context.Context) ([]byte, error)) ([]byte, error) {
 	select {
 	case s.sem <- struct{}{}:
@@ -91,18 +95,23 @@ func (s *Server) solve(ctx context.Context, compute func(context.Context) ([]byt
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 	s.metrics.solves.Inc()
-	return compute(ctx)
+	cctx, sp := obs.StartSpan(ctx, "serve.compute")
+	defer sp.End()
+	return compute(cctx)
 }
 
 // serveCached is the shared compute-endpoint path: cache lookup with
-// single-flight dedup, bounded solve on miss, error mapping.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(context.Context) ([]byte, error)) {
-	start := time.Now()
-	ctx := r.Context()
-	body, _, err := s.cache.do(ctx, key, func() ([]byte, error) {
+// single-flight dedup, bounded solve on miss, error mapping. Latency and
+// status metrics are recorded by the instrument middleware.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error)) {
+	ctx, csp := obs.StartSpan(r.Context(), "serve.cache")
+	body, cached, err := s.cache.do(ctx, key, func() ([]byte, error) {
 		return s.solve(ctx, compute)
 	})
-	s.metrics.latency[endpoint].Observe(time.Since(start).Seconds())
+	if csp != nil {
+		csp.SetAttr("hit", cached)
+		csp.End()
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client is gone (or the server is draining); nobody is
@@ -119,9 +128,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 	writeJSON(w, http.StatusOK, body)
 }
 
-// requirePost guards a compute endpoint's method and counts the request.
-func (s *Server) requirePost(w http.ResponseWriter, r *http.Request, endpoint string) bool {
-	s.metrics.requests[endpoint].Inc()
+// requirePost guards a compute endpoint's method (request counting lives
+// in the instrument middleware).
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", r.URL.Path))
@@ -131,23 +140,29 @@ func (s *Server) requirePost(w http.ResponseWriter, r *http.Request, endpoint st
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	if !s.requirePost(w, r, "analyze") {
+	if !s.requirePost(w, r) {
 		return
 	}
+	_, csp := obs.StartSpan(r.Context(), "serve.canonicalize")
 	var req AnalyzeRequest
 	if err := decodeRequest(r.Body, s.opts.MaxBodyBytes, &req); err != nil {
+		csp.End()
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	job, err := req.resolve()
 	if err != nil {
+		csp.End()
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, "analyze", canonicalKey("analyze", job), func(context.Context) ([]byte, error) {
+	key := canonicalKey("analyze", job)
+	csp.End()
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
 		// A single analysis is one closed-form evaluation or one small
-		// dense solve — there is no loop worth a cancellation point.
-		res, err := core.Analyze(job.Params, job.Config, job.Method)
+		// dense solve — there is no loop worth a cancellation point; the
+		// context carries the request's trace.
+		res, err := core.AnalyzeCtx(ctx, job.Params, job.Config, job.Method)
 		if err != nil {
 			return nil, err
 		}
@@ -170,20 +185,25 @@ func analyzeResponseFrom(res core.Result) AnalyzeResponse {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if !s.requirePost(w, r, "sweep") {
+	if !s.requirePost(w, r) {
 		return
 	}
+	_, csp := obs.StartSpan(r.Context(), "serve.canonicalize")
 	var req SweepRequest
 	if err := decodeRequest(r.Body, s.opts.MaxBodyBytes, &req); err != nil {
+		csp.End()
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	job, err := req.resolve(s.opts.MaxGridCells)
 	if err != nil {
+		csp.End()
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, "sweep", canonicalKey("sweep", job), func(ctx context.Context) ([]byte, error) {
+	key := canonicalKey("sweep", job)
+	csp.End()
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
 		apply := sweepKnobs[job.Parameter]
 		points, err := core.SweepCtx(ctx, job.Params, job.Configs, job.Method, job.Values, apply)
 		if err != nil {
@@ -210,21 +230,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	if !s.requirePost(w, r, "simulate") {
+	if !s.requirePost(w, r) {
 		return
 	}
+	_, csp := obs.StartSpan(r.Context(), "serve.canonicalize")
 	var req SimulateRequest
 	if err := decodeRequest(r.Body, s.opts.MaxBodyBytes, &req); err != nil {
+		csp.End()
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	job, err := req.resolve(s.opts.MaxSimTrials)
 	if err != nil {
+		csp.End()
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	config := req.Config
-	s.serveCached(w, r, "simulate", canonicalKey("simulate", job), func(ctx context.Context) ([]byte, error) {
+	key := canonicalKey("simulate", job)
+	csp.End()
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
 		// Workers 0 = all CPUs. The estimate is bit-identical at any
 		// worker count, so the choice is invisible in the response —
 		// the precondition for caching a Monte Carlo result at all.
@@ -244,15 +269,43 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// healthzResponse is the body of GET /healthz: liveness plus the build
+// identity of the serving binary, so deployments can verify what is
+// actually running.
+type healthzResponse struct {
+	Status    string `json:"status"`
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	BuildDate string `json:"build_date"`
+	Go        string `json:"go"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("/healthz requires GET"))
 		return
 	}
-	writeJSON(w, http.StatusOK, []byte(`{"status":"ok"}`))
+	info := version.Get()
+	body, err := json.Marshal(healthzResponse{
+		Status:    "ok",
+		Version:   info.Version,
+		Commit:    info.Commit,
+		BuildDate: info.Date,
+		Go:        info.Go,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
+// handleMetrics exposes the registry. The default exposition is the
+// Prometheus text format (0.0.4) so a stock Prometheus scrape works
+// unconfigured; `?format=json` (or an Accept header preferring
+// application/json) returns the structured JSON snapshot, and
+// `?format=text` keeps the legacy human-readable dump.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -260,11 +313,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.reg.Snapshot()
-	if r.URL.Query().Get("format") == "text" {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/json") {
+		format = "json"
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w) //nolint:errcheck // client writes are best-effort
+	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		snap.WriteText(w) //nolint:errcheck // client writes are best-effort
-		return
+	default:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w) //nolint:errcheck // client writes are best-effort
 	}
-	w.Header().Set("Content-Type", "application/json")
-	snap.WriteJSON(w) //nolint:errcheck // client writes are best-effort
 }

@@ -269,7 +269,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 
 	postJSON(t, h, "/v1/analyze", `{"config":{"internal":"raid6","ft":1}}`)
 	w = httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
 	if w.Code != http.StatusOK {
 		t.Fatalf("metrics: %d", w.Code)
 	}
@@ -287,6 +287,28 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "serve.solves") {
 		t.Fatalf("text metrics: %d %q", w.Code, w.Body.String())
 	}
+	// Default exposition is Prometheus text: TYPE comments, sanitized
+	// names, and the correct versioned content type.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("prometheus metrics: %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("prometheus content type = %q", ct)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, "# TYPE serve_solves counter") || !strings.Contains(body, "serve_solves 1") {
+		t.Errorf("prometheus exposition missing serve_solves:\n%s", body)
+	}
+	// Accept negotiation: a JSON-preferring client gets the JSON snapshot.
+	w = httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !json.Valid(w.Body.Bytes()) {
+		t.Fatalf("Accept: application/json metrics not JSON: %d %q", w.Code, w.Body.String())
+	}
 }
 
 // TestSparseCountersSurfaceInMetrics drives a sweep big enough to ride
@@ -300,7 +322,7 @@ func TestSparseCountersSurfaceInMetrics(t *testing.T) {
 	postJSON(t, h, "/v1/sweep", slowSweepBody(64))
 
 	w := httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
 	if w.Code != http.StatusOK {
 		t.Fatalf("metrics: %d", w.Code)
 	}

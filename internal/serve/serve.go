@@ -7,8 +7,8 @@
 //	POST /v1/analyze   one configuration's reliability analysis
 //	POST /v1/sweep     a parameter sweep across configurations
 //	POST /v1/simulate  a Monte Carlo MTTDL estimate (deterministic DES)
-//	GET  /healthz      liveness probe
-//	GET  /metrics      obs registry snapshot (JSON; ?format=text)
+//	GET  /healthz      liveness probe + build identity
+//	GET  /metrics      obs registry (Prometheus text; ?format=json|text)
 //
 // Three properties hold for every compute endpoint:
 //
@@ -33,12 +33,25 @@
 //	contexts. Each solve may itself fan out across the same worker
 //	ceiling — the inner pools are the process-wide bound set by
 //	core.SetMaxWorkers.
+//
+// Every request is additionally observable: it gets a request ID (the
+// client's X-Request-ID, or a generated one, echoed back), a structured
+// JSONL access-log line with a slow-request marker, per-endpoint latency
+// and status-class metrics, and — on the compute endpoints — a
+// request-scoped span trace threaded through the whole solver stack,
+// folded into trace.*.seconds histograms on /metrics and optionally
+// exported as JSONL.
 package serve
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -62,6 +75,17 @@ type Options struct {
 	// The solver substrates (markov, linalg, rebuild) are instrumented on
 	// it too, so /metrics exposes the full stack.
 	Registry *obs.Registry
+	// AccessLog receives one JSON object per completed request (nil
+	// disables logging). Writes are serialized by the server.
+	AccessLog io.Writer
+	// SlowThreshold marks requests at or above this duration as slow in
+	// the access log and the serve.slow_requests counter (default 1s;
+	// negative disables).
+	SlowThreshold time.Duration
+	// TraceWriter receives every compute request's completed span tree as
+	// JSONL (nil disables retention; stage histograms are fed either way).
+	// Writes are serialized by the server.
+	TraceWriter io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +104,9 @@ func (o Options) withDefaults() Options {
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = time.Second
+	}
 	return o
 }
 
@@ -87,26 +114,52 @@ func (o Options) withDefaults() Options {
 type metrics struct {
 	requests map[string]*obs.Counter
 	latency  map[string]*obs.Histogram
+	// statuses counts responses per endpoint and status class, indexed
+	// [status/100]: serve.responses.analyze.2xx and friends.
+	statuses map[string][6]*obs.Counter
 	errors   *obs.Counter
 	solves   *obs.Counter
+	slow     *obs.Counter
 	inflight *obs.Gauge
 }
+
+// endpoints lists every routed endpoint; the compute entries solve, the
+// rest are probes.
+var endpoints = []string{"analyze", "sweep", "simulate", "healthz", "metrics"}
 
 func newMetrics(reg *obs.Registry) *metrics {
 	m := &metrics{
 		requests: make(map[string]*obs.Counter),
 		latency:  make(map[string]*obs.Histogram),
+		statuses: make(map[string][6]*obs.Counter),
 		errors:   reg.Counter("serve.errors"),
 		solves:   reg.Counter("serve.solves"),
+		slow:     reg.Counter("serve.slow_requests"),
 		inflight: reg.Gauge("serve.inflight"),
 	}
-	for _, ep := range []string{"analyze", "sweep", "simulate"} {
+	for _, ep := range endpoints {
 		m.requests[ep] = reg.Counter("serve.requests." + ep)
 		// 100 µs .. ~1.7 h in doubling buckets: closed forms land at the
 		// bottom, cancelled-at-deadline sweeps at the top.
 		m.latency[ep] = reg.Histogram("serve.request_seconds."+ep, obs.ExpBuckets(1e-4, 2, 26))
+		var classes [6]*obs.Counter
+		for _, c := range []int{2, 3, 4, 5} {
+			classes[c] = reg.Counter(fmt.Sprintf("serve.responses.%s.%dxx", ep, c))
+		}
+		m.statuses[ep] = classes
 	}
 	return m
+}
+
+// observeStatus counts one completed response.
+func (m *metrics) observeStatus(endpoint string, status int) {
+	classes, ok := m.statuses[endpoint]
+	if !ok {
+		return
+	}
+	if c := status / 100; c >= 2 && c <= 5 && classes[c] != nil {
+		classes[c].Inc()
+	}
 }
 
 // Server is the analysis service. Create with New, mount via Handler,
@@ -116,6 +169,15 @@ type Server struct {
 	reg     *obs.Registry
 	metrics *metrics
 	cache   *resultCache
+	// folder routes completed request spans into trace.*.seconds
+	// histograms on the registry; one folder serves every request tracer.
+	folder *obs.SpanFolder
+	// nextReqID generates request IDs when the client sent none.
+	nextReqID atomic.Int64
+	// accessMu and traceMu serialize writes to the shared AccessLog and
+	// TraceWriter streams so concurrent requests emit whole lines.
+	accessMu sync.Mutex
+	traceMu  sync.Mutex
 	// sem bounds concurrently solving requests at core.MaxWorkers()
 	// (captured at construction); waiters respect their own contexts, so
 	// a queued request that disconnects leaves the queue immediately.
@@ -142,6 +204,7 @@ func New(opts Options) *Server {
 		opts:    opts,
 		reg:     reg,
 		metrics: m,
+		folder:  obs.NewSpanFolder(reg),
 		cache: newResultCache(opts.CacheEntries,
 			reg.Counter("serve.cache.hits"),
 			reg.Counter("serve.cache.misses"),
@@ -151,12 +214,122 @@ func New(opts Options) *Server {
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 	}
-	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/analyze", s.instrument("analyze", true, s.handleAnalyze))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", true, s.handleSweep))
+	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", true, s.handleSimulate))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
 	return s
+}
+
+// statusRecorder captures the response status and body size for the
+// access log and the per-class counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time     string  `json:"time"`
+	ID       string  `json:"id"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Endpoint string  `json:"endpoint"`
+	Status   int     `json:"status"`
+	Seconds  float64 `json:"seconds"`
+	Bytes    int64   `json:"bytes"`
+	Slow     bool    `json:"slow,omitempty"`
+}
+
+// instrument wraps a handler with the request-scoped observability
+// contract: request ID assignment (client X-Request-ID respected, echoed
+// back either way), per-endpoint request/latency/status metrics, the
+// structured access log with its slow marker, and — on traced endpoints
+// — a per-request span tracer threaded through the handler's context,
+// folded into trace.*.seconds histograms and exported to TraceWriter.
+func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.requests[endpoint].Inc()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("r%06d", s.nextReqID.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		req := r
+		var tr *obs.Tracer
+		var root *obs.Span
+		if traced {
+			tr = obs.NewTracer()
+			tr.SetFold(s.folder.Fold)
+			// Span records are only buffered when someone will read them;
+			// the fold above feeds the histograms either way.
+			tr.SetRetain(s.opts.TraceWriter != nil)
+			var ctx context.Context
+			ctx, root = tr.Start(r.Context(), "serve.request")
+			root.SetAttr("endpoint", endpoint)
+			root.SetAttr("id", id)
+			req = r.WithContext(ctx)
+		}
+		h(rec, req)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if root != nil {
+			root.SetAttr("status", status)
+			root.End()
+		}
+		dur := time.Since(start)
+		s.metrics.latency[endpoint].Observe(dur.Seconds())
+		s.metrics.observeStatus(endpoint, status)
+		slow := s.opts.SlowThreshold > 0 && dur >= s.opts.SlowThreshold
+		if slow {
+			s.metrics.slow.Inc()
+		}
+		if s.opts.AccessLog != nil {
+			line, err := json.Marshal(accessRecord{
+				Time:     start.UTC().Format(time.RFC3339Nano),
+				ID:       id,
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Endpoint: endpoint,
+				Status:   status,
+				Seconds:  dur.Seconds(),
+				Bytes:    rec.bytes,
+				Slow:     slow,
+			})
+			if err == nil {
+				s.accessMu.Lock()
+				s.opts.AccessLog.Write(append(line, '\n')) //nolint:errcheck // logging is best-effort
+				s.accessMu.Unlock()
+			}
+		}
+		if tr != nil && s.opts.TraceWriter != nil {
+			s.traceMu.Lock()
+			tr.WriteJSONL(s.opts.TraceWriter) //nolint:errcheck // tracing is best-effort
+			s.traceMu.Unlock()
+		}
+	}
 }
 
 // Registry returns the server's metrics registry (the one /metrics

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// readSpans decodes a TraceWriter buffer (JSONL, possibly several
+// requests' trees concatenated) into records.
+func readSpans(t *testing.T, buf *bytes.Buffer) []obs.SpanRecord {
+	t.Helper()
+	var spans []obs.SpanRecord
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var s obs.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+// spanIndex maps span names to their records (a name may repeat; all
+// records are kept).
+func spanIndex(spans []obs.SpanRecord) map[string][]obs.SpanRecord {
+	idx := make(map[string][]obs.SpanRecord)
+	for _, s := range spans {
+		idx[s.Name] = append(idx[s.Name], s)
+	}
+	return idx
+}
+
+// hasAncestor reports whether span s transitively descends from a span
+// named want within the same trace.
+func hasAncestor(spans []obs.SpanRecord, s obs.SpanRecord, want string) bool {
+	byID := make(map[int64]obs.SpanRecord, len(spans))
+	for _, r := range spans {
+		byID[r.ID] = r
+	}
+	for p := s.Parent; p != 0; {
+		r, ok := byID[p]
+		if !ok {
+			return false
+		}
+		if r.Name == want {
+			return true
+		}
+		p = r.Parent
+	}
+	return false
+}
+
+// TestAnalyzeSpanTree posts an exact-chain analyze request with tracing
+// on and asserts the exported span tree covers the full request path:
+// root → canonicalize/cache → compute → chain acquisition → solve.
+func TestAnalyzeSpanTree(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Options{TraceWriter: &buf})
+	h := s.Handler()
+	w := postJSON(t, h, "/v1/analyze", `{"config":{"internal":"raid5","ft":2},"method":"exact-chain"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("analyze: %d %s", w.Code, w.Body.String())
+	}
+	spans := readSpans(t, &buf)
+	idx := spanIndex(spans)
+	for _, name := range []string{
+		"serve.request", "serve.canonicalize", "serve.cache",
+		"serve.compute", "chain.freeze", "markov.solve",
+	} {
+		if len(idx[name]) == 0 {
+			t.Errorf("trace missing %q span; have %v", name, names(spans))
+		}
+	}
+	// The solve must hang off the request root through the compute span.
+	for _, solve := range idx["markov.solve"] {
+		if !hasAncestor(spans, solve, "serve.compute") || !hasAncestor(spans, solve, "serve.request") {
+			t.Errorf("markov.solve span %d not rooted under serve.compute/serve.request", solve.ID)
+		}
+	}
+	// Roots carry the request identity.
+	root := idx["serve.request"][0]
+	if root.Parent != 0 || root.Attrs["endpoint"] != "analyze" {
+		t.Errorf("bad root span: %+v", root)
+	}
+	if got, want := w.Header().Get("X-Request-ID"), root.Attrs["id"]; got == "" || got != want {
+		t.Errorf("X-Request-ID %q does not match root span id %v", got, want)
+	}
+}
+
+// traceSweepBody is slowSweepBody's shape at ft=8 — the CSR pattern is
+// a function of the fault tolerance (refill keeps structural zeros, see
+// DESIGN.md §9), and no other test solves an ft=8 chain, so the pooled
+// Solvers' MRU caches (process-wide, warm with the ft=7 pattern after
+// the cancellation tests) cannot satisfy the first cell: the trace must
+// contain a fresh sparse.symbolic analysis.
+func traceSweepBody(n int) string {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%d", 200_000+i)
+	}
+	return `{"params":{"redundancy_set_size":48},
+		"configs":[{"internal":"none","ft":8}],
+		"method":"exact-chain",
+		"parameter":"drive_mttf_hours",
+		"values":[` + strings.Join(vals, ",") + `]}`
+}
+
+// TestSweepSpanTree drives a sweep onto the sparse CTMC path (wide
+// chains at r=48, ft=8) and asserts the acceptance-critical stages all
+// appear in the trace: cache, freeze, symbolic, refactor and solve — with
+// per-cell spans parenting the chain stages.
+func TestSweepSpanTree(t *testing.T) {
+	// One worker ⇒ one pooled Solver serves every cell, so the grid pays
+	// exactly one symbolic analysis and the reuse assertion below is
+	// deterministic on any machine.
+	core.SetMaxWorkers(1)
+	defer core.SetMaxWorkers(0)
+
+	var buf bytes.Buffer
+	s := New(Options{MaxGridCells: 65536, TraceWriter: &buf})
+	h := s.Handler()
+	w := postJSON(t, h, "/v1/sweep", traceSweepBody(4))
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", w.Code, w.Body.String())
+	}
+	spans := readSpans(t, &buf)
+	idx := spanIndex(spans)
+	for _, name := range []string{
+		"serve.request", "serve.cache", "serve.compute", "core.sweep",
+		"core.cell", "chain.freeze", "sparse.symbolic", "sparse.refactor",
+		"sparse.solve", "markov.solve",
+	} {
+		if len(idx[name]) == 0 {
+			t.Errorf("sweep trace missing %q span; have %v", name, names(spans))
+		}
+	}
+	// One cell span per grid cell; every cell under the sweep span.
+	if got := len(idx["core.cell"]); got != 4 {
+		t.Errorf("core.cell spans = %d, want 4", got)
+	}
+	for _, cell := range idx["core.cell"] {
+		if !hasAncestor(spans, cell, "core.sweep") {
+			t.Errorf("core.cell span %d not under core.sweep", cell.ID)
+		}
+	}
+	// The sparse stages belong to a solve, which belongs to a cell.
+	for _, name := range []string{"sparse.refactor", "sparse.solve"} {
+		for _, sp := range idx[name] {
+			if !hasAncestor(spans, sp, "markov.solve") {
+				t.Errorf("%s span %d not under markov.solve", name, sp.ID)
+			}
+		}
+	}
+	for _, solve := range idx["markov.solve"] {
+		if !hasAncestor(spans, solve, "core.cell") {
+			t.Errorf("markov.solve span %d not under core.cell", solve.ID)
+		}
+	}
+	// One topology shared across cells: the symbolic analysis runs on
+	// the miss only, then is reused.
+	if got := len(idx["sparse.symbolic"]); got < 1 || got >= len(idx["sparse.refactor"]) {
+		t.Errorf("sparse.symbolic spans = %d (refactors %d): want fewer symbolic analyses than refactors",
+			got, len(idx["sparse.refactor"]))
+	}
+
+	// The same request without a TraceWriter still feeds the stage
+	// histograms on /metrics (fold-only mode).
+	s2 := New(Options{MaxGridCells: 65536})
+	h2 := s2.Handler()
+	if w := postJSON(t, h2, "/v1/sweep", traceSweepBody(4)); w.Code != http.StatusOK {
+		t.Fatalf("untraced sweep: %d %s", w.Code, w.Body.String())
+	}
+	snap := s2.Registry().Snapshot()
+	for _, hist := range []string{
+		"trace.serve.request.seconds", "trace.core.cell.seconds",
+		"trace.sparse.solve.seconds", "trace.chain.freeze.seconds",
+	} {
+		if _, ok := snap.Histograms[hist]; !ok {
+			t.Errorf("fold-only server missing %q histogram", hist)
+		}
+	}
+}
+
+func names(spans []obs.SpanRecord) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range spans {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// TestAccessLogAndRequestIDs checks the structured access log: one JSON
+// line per request, client-supplied request IDs respected, and the slow
+// marker driven by SlowThreshold.
+func TestAccessLogAndRequestIDs(t *testing.T) {
+	var log bytes.Buffer
+	// A negative threshold disables slow marking; -1ns would mark all.
+	s := New(Options{AccessLog: &log, SlowThreshold: 1}) // 1ns: everything is slow
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/analyze",
+		strings.NewReader(`{"config":{"internal":"raid5","ft":2}}`))
+	req.Header.Set("X-Request-ID", "client-chosen-7")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("analyze: %d %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Request-ID"); got != "client-chosen-7" {
+		t.Errorf("X-Request-ID = %q, want the client's", got)
+	}
+
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/healthz", nil))
+
+	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log lines = %d, want 2:\n%s", len(lines), log.String())
+	}
+	var rec accessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access line not JSON: %v", err)
+	}
+	if rec.ID != "client-chosen-7" || rec.Endpoint != "analyze" || rec.Status != http.StatusOK ||
+		rec.Method != http.MethodPost || rec.Bytes <= 0 || !rec.Slow {
+		t.Errorf("bad access record %+v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("second access line not JSON: %v", err)
+	}
+	if rec.Endpoint != "healthz" || rec.ID == "" {
+		t.Errorf("bad healthz access record %+v", rec)
+	}
+	if c := s.Registry().Counter("serve.slow_requests").Value(); c < 1 {
+		t.Errorf("serve.slow_requests = %d, want >= 1", c)
+	}
+	if c := s.Registry().Counter("serve.responses.analyze.2xx").Value(); c != 1 {
+		t.Errorf("serve.responses.analyze.2xx = %d, want 1", c)
+	}
+}

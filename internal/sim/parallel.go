@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/seedstream"
 )
 
@@ -161,6 +162,14 @@ func EstimateMTTDLParallelObservedCtx(ctx context.Context, sc Scenario, baseSeed
 						continue
 					}
 				}
+				// One span per chunk, not per mission: chunk granularity
+				// keeps trace volume (and the disabled-path context probe)
+				// at 1/64 of the mission count.
+				_, csp := obs.StartSpan(ctx, "sim.chunk")
+				if csp != nil {
+					csp.SetAttr("lo", lo)
+					csp.SetAttr("hi", hi)
+				}
 				var w welford
 				var evts float64
 				bad := false
@@ -190,6 +199,7 @@ func EstimateMTTDLParallelObservedCtx(ctx context.Context, sc Scenario, baseSeed
 					w.observe(r.Time)
 					evts += float64(r.Events)
 				}
+				csp.End()
 				if bad {
 					continue
 				}

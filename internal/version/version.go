@@ -1,0 +1,74 @@
+// Package version carries the build identity stamped into every binary.
+// The variables are set at link time by scripts/build.sh (and CI):
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3 \
+//	                   -X repro/internal/version.Commit=abc1234 \
+//	                   -X repro/internal/version.Date=2026-08-07T12:00:00Z"
+//
+// Unstamped builds (plain go build / go test) report "dev" and fall back
+// to the VCS revision embedded by the go tool when available.
+package version
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+var (
+	// Version is the release tag, "dev" when unstamped.
+	Version = "dev"
+	// Commit is the short VCS revision, "" when unstamped.
+	Commit = ""
+	// Date is the UTC build timestamp, "" when unstamped.
+	Date = ""
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit,omitempty"`
+	Date    string `json:"build_date,omitempty"`
+	Go      string `json:"go"`
+}
+
+// Get resolves the build identity: the stamped variables, with the
+// commit falling back to the go tool's embedded vcs.revision.
+func Get() Info {
+	info := Info{Version: Version, Commit: Commit, Date: Date, Go: runtime.Version()}
+	if info.Commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && len(s.Value) >= 7 {
+					info.Commit = s.Value[:7]
+				}
+			}
+		}
+	}
+	return info
+}
+
+// String renders the identity as a single human-readable token, e.g.
+// "v1.2.3 (abc1234, 2026-08-07T12:00:00Z, go1.22.0)".
+func (i Info) String() string {
+	s := i.Version
+	sep := ""
+	detail := ""
+	for _, p := range []string{i.Commit, i.Date, i.Go} {
+		if p == "" {
+			continue
+		}
+		detail += sep + p
+		sep = ", "
+	}
+	if detail != "" {
+		s += " (" + detail + ")"
+	}
+	return s
+}
+
+// Print writes the standard "-version" line for the named command.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s\n", cmd, Get())
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Observability overhead gate: the instrumented DES hot loop (live
+# registry + per-mission metric flushes, the exact shape nsr-serve and
+# nsr-simulate run) must stay within MAX_RATIO of the uninstrumented
+# baseline. Each benchmark runs COUNT times and the best (minimum) ns/op
+# is compared, which filters scheduler noise rather than averaging it in.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MAX_RATIO=${MAX_RATIO:-1.05}
+COUNT=${COUNT:-6}
+BENCHTIME=${BENCHTIME:-0.5s}
+
+out=$(go test -run NOTHING -bench 'DESBaseline|DESInstrumented' \
+    -benchtime "$BENCHTIME" -count "$COUNT" .)
+echo "$out"
+
+best() {
+    echo "$out" | awk -v name="$1" '
+        $1 ~ name { for (i = 1; i <= NF; i++) if ($(i+1) == "ns/op") v = $i
+                    if (best == "" || v + 0 < best + 0) best = v }
+        END { if (best == "") exit 1; print best }'
+}
+
+base=$(best '^BenchmarkDESBaseline')
+inst=$(best '^BenchmarkDESInstrumented')
+ratio=$(awk -v b="$base" -v i="$inst" 'BEGIN { printf "%.4f", i / b }')
+echo "baseline ${base} ns/op, instrumented ${inst} ns/op, ratio ${ratio} (max ${MAX_RATIO})"
+awk -v r="$ratio" -v m="$MAX_RATIO" 'BEGIN { exit !(r <= m) }' || {
+    echo "instrumentation overhead ${ratio}x exceeds the ${MAX_RATIO}x gate"
+    exit 1
+}
+echo "overhead gate OK"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build every CLI into ./bin with the build identity stamped via
+# -ldflags (see internal/version). Override the tag with VERSION=v1.2.3.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+version=${VERSION:-$(git describe --tags --always --dirty 2>/dev/null || echo dev)}
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo "")
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+ldflags="-X repro/internal/version.Version=${version}"
+[ -n "$commit" ] && ldflags="$ldflags -X repro/internal/version.Commit=${commit}"
+ldflags="$ldflags -X repro/internal/version.Date=${date}"
+
+mkdir -p bin
+for cmd in cmd/*/; do
+    name=$(basename "$cmd")
+    go build -ldflags "$ldflags" -o "bin/$name" "./$cmd"
+done
+echo "built $(ls bin | wc -l) binaries into bin/ as ${version} (${commit:-no commit}, ${date})"
+./bin/nsr-mttdl -version

@@ -10,7 +10,13 @@ bin=$(mktemp -d)/nsr-serve
 out=$(mktemp)
 trap 'rm -rf "$(dirname "$bin")" "$out"' EXIT
 
-go build -o "$bin" ./cmd/nsr-serve
+# Stamp the build identity so the /healthz and -version probes below
+# check the real ldflags path, not just the "dev" fallback.
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+go build -ldflags "-X repro/internal/version.Version=e2e -X repro/internal/version.Commit=${commit}" \
+    -o "$bin" ./cmd/nsr-serve
+
+"$bin" -version | grep -q 'nsr-serve e2e' || { echo "-version not stamped"; "$bin" -version; exit 1; }
 
 "$bin" -addr 127.0.0.1:0 >"$out" 2>&1 &
 pid=$!
@@ -26,7 +32,9 @@ done
 [ -n "$addr" ] || { echo "server never announced its address"; cat "$out"; exit 1; }
 echo "serving on $addr"
 
-curl -fsS "http://$addr/healthz" | grep -q '"ok"' || { echo "healthz failed"; exit 1; }
+healthz=$(curl -fsS "http://$addr/healthz")
+echo "$healthz" | grep -q '"ok"' || { echo "healthz failed: $healthz"; exit 1; }
+echo "$healthz" | grep -q '"version":"e2e"' || { echo "healthz missing stamped version: $healthz"; exit 1; }
 
 body=$(curl -fsS -X POST "http://$addr/v1/analyze" \
     -H 'Content-Type: application/json' \
@@ -39,6 +47,13 @@ curl -fsS -X POST "http://$addr/v1/analyze" \
     -d '{"config":{"internal":"raid5","ft":2}}' >/dev/null
 hits=$(curl -fsS "http://$addr/metrics?format=text" | awk '$1 == "counter" && $2 == "serve.cache.hits" {print $3}')
 [ "${hits:-0}" -ge 1 ] || { echo "expected a cache hit, counter is ${hits:-absent}"; exit 1; }
+
+# Default /metrics is Prometheus text exposition: sanitized names, TYPE
+# comments, and the same cache-hit count.
+prom=$(curl -fsS "http://$addr/metrics")
+echo "$prom" | grep -q '^# TYPE serve_cache_hits counter$' || { echo "no Prometheus TYPE line"; exit 1; }
+prom_hits=$(echo "$prom" | awk '$1 == "serve_cache_hits" {print $2}')
+[ "${prom_hits:-0}" -ge 1 ] || { echo "Prometheus cache hits ${prom_hits:-absent}"; exit 1; }
 
 kill -TERM "$pid"
 if wait "$pid"; then
