@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	nsr-serve [-addr :8080] [-workers 0] [-cache 256] [-drain 10s]
-//	          [-grid-cells 4096] [-sim-trials 20000] [-max-body 1048576]
-//	          [-access-log FILE] [-slow 1s] [-trace-out FILE]
-//	          [-pprof-http host:port] [-version]
+//	nsr-serve [-addr :8080] [-workers 0] [-batch-cells 0] [-cache 256]
+//	          [-drain 10s] [-grid-cells 4096] [-sim-trials 20000]
+//	          [-max-body 1048576] [-access-log FILE] [-slow 1s]
+//	          [-trace-out FILE] [-pprof-http host:port] [-version]
 //
 // Endpoints: POST /v1/analyze, /v1/sweep, /v1/simulate;
 // GET /healthz, /metrics (Prometheus text by default; ?format=json).
+// POST /v1/sweep with "Accept: application/x-ndjson" streams completed
+// sweep points as NDJSON rows instead of buffering the whole grid.
 // SIGINT/SIGTERM drain in-flight requests for -drain, then cancel
 // whatever is left; a clean drain exits 0.
 package main
@@ -60,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	workers := fs.Int("workers", 0, "concurrent solves and per-solve worker ceiling (0 = all CPUs)")
+	batchCells := fs.Int("batch-cells", 0, "cells per batched exact-chain solver chunk (0 = default 256, negative = per-cell path; results are identical at any setting)")
 	cacheN := fs.Int("cache", 256, "result cache capacity (completed responses)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before in-flight solves are cancelled")
 	gridCells := fs.Int("grid-cells", 4096, "maximum sweep grid cells (values × configs)")
@@ -81,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	core.SetMaxWorkers(*workers)
+	core.SetBatchCells(*batchCells)
 
 	accessW, closeAccess, err := openSink(*accessLog, stdout)
 	if err != nil {

@@ -85,33 +85,95 @@ func Analyze(p params.Parameters, cfg Config, method Method) (Result, error) {
 // closed-form evaluation or one chain solve; results are identical to
 // Analyze.
 func AnalyzeCtx(ctx context.Context, p params.Parameters, cfg Config, method Method) (Result, error) {
-	if err := p.Validate(); err != nil {
+	pr, err := analyzePrep(p, cfg, method)
+	if err != nil {
 		return Result{}, err
 	}
+	k := pr.k
+	var mttdl float64
+	if cfg.Internal == InternalNone {
+		switch method {
+		case MethodClosedForm:
+			mttdl = closedform.NIRMTTDLGeneral(pr.nir, k)
+		case MethodExactChain:
+			_, fsp := obs.StartSpan(ctx, "chain.freeze")
+			ch := model.NIRChain(pr.nir, k)
+			fsp.End()
+			mttdl, err = markov.MTTACtx(ctx, ch)
+			model.ReleaseChain(ch)
+			if err != nil {
+				return Result{}, chainSolveError(true, err)
+			}
+		case MethodExactStable:
+			mttdl = closedform.NIRMTTDLRecursive(pr.nir, k)
+		default:
+			return Result{}, fmt.Errorf("core: unknown method %d", int(method))
+		}
+	} else {
+		switch method {
+		case MethodClosedForm:
+			mttdl = closedform.IRMTTDL(pr.ir, k)
+		case MethodExactChain:
+			_, fsp := obs.StartSpan(ctx, "chain.freeze")
+			ch := model.IRChain(pr.ir, k)
+			fsp.End()
+			mttdl, err = markov.MTTACtx(ctx, ch)
+			model.ReleaseChain(ch)
+			if err != nil {
+				return Result{}, chainSolveError(false, err)
+			}
+		case MethodExactStable:
+			mttdl = closedform.IRMTTDLExact(pr.ir, k)
+		default:
+			return Result{}, fmt.Errorf("core: unknown method %d", int(method))
+		}
+	}
+	return pr.finish(mttdl)
+}
+
+// analysisPrep is the solver-independent half of one analysis: validated
+// inputs, computed repair and internal-array rates, and the partially
+// populated Result. AnalyzeCtx pairs it with one chain build or closed
+// form; the batched sweep engine prepares a whole chunk of these, then
+// solves the chunk through one markov.BatchSolver.
+type analysisPrep struct {
+	res Result
+	k   int
+	nir closedform.NIRInputs
+	ir  closedform.IRInputs
+}
+
+// analyzePrep validates (p, cfg) and computes everything upstream of the
+// MTTDL solve, in the exact order AnalyzeCtx always has, so error
+// messages and float results are unchanged.
+func analyzePrep(p params.Parameters, cfg Config, method Method) (analysisPrep, error) {
+	var pr analysisPrep
+	if err := p.Validate(); err != nil {
+		return pr, err
+	}
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return pr, err
 	}
 	k := cfg.NodeFaultTolerance
 	switch {
 	case p.NodeSetSize <= k+1:
-		return Result{}, fmt.Errorf("core: node set size %d too small for fault tolerance %d", p.NodeSetSize, k)
+		return pr, fmt.Errorf("core: node set size %d too small for fault tolerance %d", p.NodeSetSize, k)
 	case p.RedundancySetSize <= k:
-		return Result{}, fmt.Errorf("core: redundancy set size %d too small for fault tolerance %d", p.RedundancySetSize, k)
+		return pr, fmt.Errorf("core: redundancy set size %d too small for fault tolerance %d", p.RedundancySetSize, k)
 	case cfg.Internal != InternalNone && p.DrivesPerNode <= cfg.Internal.ParityDrives():
-		return Result{}, fmt.Errorf("core: %d drives per node cannot form %s", p.DrivesPerNode, cfg.Internal)
+		return pr, fmt.Errorf("core: %d drives per node cannot form %s", p.DrivesPerNode, cfg.Internal)
 	}
 
 	rates := rebuild.Compute(p, k)
-	res := Result{
+	pr.k = k
+	pr.res = Result{
 		Config: cfg,
 		Params: p,
 		Method: method,
 		Rates:  rates,
 	}
-
-	var mttdl float64
 	if cfg.Internal == InternalNone {
-		in := closedform.NIRInputs{
+		pr.nir = closedform.NIRInputs{
 			N:       p.NodeSetSize,
 			R:       p.RedundancySetSize,
 			D:       p.DrivesPerNode,
@@ -121,25 +183,7 @@ func AnalyzeCtx(ctx context.Context, p params.Parameters, cfg Config, method Met
 			MuD:     rates.DriveRebuild,
 			CHER:    p.CHER(),
 		}
-		res.ArrayFailureRate = float64(p.DrivesPerNode) * p.DriveFailureRate()
-		switch method {
-		case MethodClosedForm:
-			mttdl = closedform.NIRMTTDLGeneral(in, k)
-		case MethodExactChain:
-			_, fsp := obs.StartSpan(ctx, "chain.freeze")
-			ch := model.NIRChain(in, k)
-			fsp.End()
-			var err error
-			mttdl, err = markov.MTTACtx(ctx, ch)
-			model.ReleaseChain(ch)
-			if err != nil {
-				return Result{}, fmt.Errorf("core: solving NIR chain: %w", err)
-			}
-		case MethodExactStable:
-			mttdl = closedform.NIRMTTDLRecursive(in, k)
-		default:
-			return Result{}, fmt.Errorf("core: unknown method %d", int(method))
-		}
+		pr.res.ArrayFailureRate = float64(p.DrivesPerNode) * p.DriveFailureRate()
 	} else {
 		m := cfg.Internal.ParityDrives()
 		arr := closedform.ArrayInputs{
@@ -148,41 +192,37 @@ func AnalyzeCtx(ctx context.Context, p params.Parameters, cfg Config, method Met
 			MuD:     rates.Restripe,
 			CHER:    p.CHER(),
 		}
-		res.ArrayFailureRate = closedform.ArrayFailureRate(m, arr)
-		res.SectorErrorRate = closedform.SectorErrorRate(m, arr)
-		in := closedform.IRInputs{
+		pr.res.ArrayFailureRate = closedform.ArrayFailureRate(m, arr)
+		pr.res.SectorErrorRate = closedform.SectorErrorRate(m, arr)
+		pr.ir = closedform.IRInputs{
 			N:            p.NodeSetSize,
 			R:            p.RedundancySetSize,
 			LambdaN:      p.NodeFailureRate(),
-			LambdaArray:  res.ArrayFailureRate,
-			LambdaSector: res.SectorErrorRate,
+			LambdaArray:  pr.res.ArrayFailureRate,
+			LambdaSector: pr.res.SectorErrorRate,
 			MuN:          rates.NodeRebuild,
 		}
-		switch method {
-		case MethodClosedForm:
-			mttdl = closedform.IRMTTDL(in, k)
-		case MethodExactChain:
-			_, fsp := obs.StartSpan(ctx, "chain.freeze")
-			ch := model.IRChain(in, k)
-			fsp.End()
-			var err error
-			mttdl, err = markov.MTTACtx(ctx, ch)
-			model.ReleaseChain(ch)
-			if err != nil {
-				return Result{}, fmt.Errorf("core: solving IR chain: %w", err)
-			}
-		case MethodExactStable:
-			mttdl = closedform.IRMTTDLExact(in, k)
-		default:
-			return Result{}, fmt.Errorf("core: unknown method %d", int(method))
-		}
 	}
+	return pr, nil
+}
 
-	if mttdl <= 0 || math.IsNaN(mttdl) || math.IsInf(mttdl, 0) {
-		return Result{}, fmt.Errorf("core: %v MTTDL %g is numerically unusable (float64 exhausted for this configuration; use MethodClosedForm)", cfg, mttdl)
+// chainSolveError wraps a chain-solve failure in AnalyzeCtx's wording.
+func chainSolveError(nir bool, err error) error {
+	if nir {
+		return fmt.Errorf("core: solving NIR chain: %w", err)
 	}
+	return fmt.Errorf("core: solving IR chain: %w", err)
+}
+
+// finish turns a solved MTTDL into the final Result, applying the
+// usability guard and the capacity normalization.
+func (pr *analysisPrep) finish(mttdl float64) (Result, error) {
+	if mttdl <= 0 || math.IsNaN(mttdl) || math.IsInf(mttdl, 0) {
+		return Result{}, fmt.Errorf("core: %v MTTDL %g is numerically unusable (float64 exhausted for this configuration; use MethodClosedForm)", pr.res.Config, mttdl)
+	}
+	res := pr.res
 	res.MTTDLHours = mttdl
-	res.LogicalCapacityPB = LogicalCapacityPB(p, cfg)
+	res.LogicalCapacityPB = LogicalCapacityPB(res.Params, res.Config)
 	res.EventsPerPBYear = params.HoursPerYear / mttdl / res.LogicalCapacityPB
 	return res, nil
 }

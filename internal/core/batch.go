@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/params"
+)
+
+// Batched exact-chain sweeps. Profiling a MethodExactChain grid shows
+// the per-cell cost dominated by chain construction — label strings,
+// name-map lookups, allocation — not by the linear solve. The batch
+// engine removes all of it from the per-cell path: a sweep chunk is a
+// run of consecutive x values for ONE configuration, whose chains all
+// share one frozen topology (the model builders' state/edge sets are
+// functions of the fault tolerance alone, never of the swept
+// parameters). Each chunk binds that topology into a structure-of-arrays
+// markov.BatchSolver once, refills rates per cell through the compiled
+// string-free model refillers, scatters them into the solver's value
+// slab, and runs Refactor+Solve per cell — zero per-cell allocation,
+// with spans and metric observations amortized to one per chunk.
+//
+// Results are bitwise identical to the per-cell path at any worker count
+// and any chunk size: refills, matrix assembly, routing and the solves
+// themselves reproduce the per-cell float operations exactly (enforced
+// by tests at every layer). Methods other than MethodExactChain never
+// batch — their per-cell cost has no chain to amortize.
+
+// defaultBatchCells is the default sweep chunk size: big enough to
+// amortize binding and span bookkeeping to noise, small enough that
+// streaming sweeps produce their first points promptly and cancellation
+// lands within a fraction of a second.
+const defaultBatchCells = 256
+
+// batchCellsSetting holds SetBatchCells' raw value: 0 default, >0 an
+// explicit chunk size, <0 disabled.
+var batchCellsSetting atomic.Int64
+
+// SetBatchCells tunes the batched sweep engine's chunk size: n > 0 sets
+// the maximum cells per chunk, n == 0 restores the default (256), and
+// n < 0 disables batching so exact-chain sweeps take the per-cell path.
+// It returns the previous raw setting (restore with a second call). The
+// setting is process-wide and purely a performance knob — sweep results
+// are bitwise identical at any value.
+func SetBatchCells(n int) int {
+	return int(batchCellsSetting.Swap(int64(n)))
+}
+
+// batchCells returns the effective chunk size, 0 when batching is off.
+func batchCells() int {
+	switch v := batchCellsSetting.Load(); {
+	case v < 0:
+		return 0
+	case v == 0:
+		return defaultBatchCells
+	default:
+		return int(v)
+	}
+}
+
+// batchChunk is one worker's reusable chunk state: a bound batch solver
+// (whose symbolic-factorization cache survives across chunks) and the
+// prep slots for up to one chunk of cells.
+type batchChunk struct {
+	bs    *markov.BatchSolver
+	preps []analysisPrep
+}
+
+var chunkPool = sync.Pool{
+	New: func() any { return &batchChunk{bs: markov.AcquireBatchSolver()} },
+}
+
+// sweepBatch runs a MethodExactChain grid through chunked batch solves.
+// Chunks are (configuration, x-range) slices of the grid, fanned across
+// the same bounded pool the per-cell path uses; chunk claiming is
+// ordered by x block first so a streaming sweep's emission frontier
+// advances as fast as possible. Error semantics replicate the per-cell
+// path exactly: the reported error is that of the lowest failing grid
+// cell (x order, then configuration order), with the same message.
+func sweepBatch(ctx context.Context, base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64), out []SweepPoint, tr *pointTracker) error {
+	nx, ncfg := len(xs), len(cfgs)
+	chunk := batchCells()
+	// When the worker pool would otherwise idle (few, long chunks),
+	// shrink chunks so every worker gets one; chunk size never affects
+	// results, only scheduling.
+	if want := (MaxWorkers() + ncfg - 1) / ncfg; want > 1 {
+		if spread := (nx + want - 1) / want; spread < chunk {
+			chunk = spread
+		}
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	type chunkSpec struct{ ci, lo, hi int }
+	specs := make([]chunkSpec, 0, ncfg*((nx+chunk-1)/chunk))
+	for lo := 0; lo < nx; lo += chunk {
+		hi := lo + chunk
+		if hi > nx {
+			hi = nx
+		}
+		for ci := range cfgs {
+			specs = append(specs, chunkSpec{ci: ci, lo: lo, hi: hi})
+		}
+	}
+
+	// First-error reduction across chunks, by global grid-cell index
+	// (xi*ncfg + ci), mirroring runIndexedCtx's lowest-index guarantee.
+	var (
+		mu        sync.Mutex
+		firstCell = nx * ncfg
+		firstErr  error
+	)
+	record := func(cell int, err error) {
+		mu.Lock()
+		if cell < firstCell {
+			firstCell = cell
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	rerr := runIndexedCtx(ctx, len(specs), func(si int) error {
+		sp := specs[si]
+		mu.Lock()
+		skip := sp.lo*ncfg+sp.ci > firstCell
+		mu.Unlock()
+		if skip {
+			// Every cell in this chunk is past the recorded first
+			// failure; nothing it could do would change the outcome.
+			return nil
+		}
+		cell, err := runBatchChunk(ctx, base, cfgs[sp.ci], method, xs[sp.lo:sp.hi], apply, out[sp.lo:sp.hi], sp.ci)
+		if err != nil {
+			if cell < 0 {
+				return err // context cancellation: propagate as-is
+			}
+			record((sp.lo+cell)*ncfg+sp.ci, err)
+			return nil
+		}
+		tr.chunkDone(sp.lo, sp.hi)
+		return nil
+	})
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return rerr
+}
+
+// runBatchChunk analyzes one configuration across a run of consecutive
+// sweep points: prep + refill + fill per cell, then one batched solve
+// pass. On a cell failure it returns that cell's chunk-local index and
+// the wrapped error of the LOWEST failing cell (fill errors are only
+// reported if no earlier cell fails its solve); on cancellation it
+// returns (-1, ctx.Err()). Results land in pts[i].Results[ci] only when
+// the whole chunk succeeds.
+func runBatchChunk(ctx context.Context, base params.Parameters, cfg Config, method Method, xs []float64, apply func(*params.Parameters, float64), pts []SweepPoint, ci int) (int, error) {
+	bc := chunkPool.Get().(*batchChunk)
+	defer chunkPool.Put(bc)
+	if cap(bc.preps) < len(xs) {
+		bc.preps = make([]analysisPrep, len(xs))
+	} else {
+		bc.preps = bc.preps[:len(xs)]
+	}
+	bs := bc.bs
+	isNIR := cfg.Internal == InternalNone
+
+	var (
+		nir *model.NIRRefiller
+		ir  *model.IRRefiller
+	)
+	defer func() {
+		if nir != nil {
+			nir.Release()
+		}
+		if ir != nil {
+			ir.Release()
+		}
+	}()
+
+	// Fill pass: one prep + string-free refill + slab scatter per cell.
+	filled := 0
+	fillFail := -1
+	var fillErr error
+	for i, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		p := base
+		apply(&p, x)
+		pr, err := analyzePrep(p, cfg, method)
+		if err != nil {
+			fillFail, fillErr = i, sweepCellError(x, cfg, err)
+			break
+		}
+		var ch *markov.Chain
+		if isNIR {
+			if nir == nil {
+				nir = model.AcquireNIRRefiller(pr.nir, pr.k)
+				ch = nir.Chain()
+			} else {
+				ch = nir.Refill(pr.nir)
+			}
+		} else {
+			if ir == nil {
+				ir = model.AcquireIRRefiller(pr.ir, pr.k)
+				ch = ir.Chain()
+			} else {
+				ch = ir.Refill(pr.ir)
+			}
+		}
+		if i == 0 {
+			if err := bs.Bind(ctx, ch); err != nil {
+				return 0, sweepCellError(x, cfg, chainSolveError(isNIR, err))
+			}
+			bs.Cells(len(xs))
+		}
+		if err := bs.ValidateRates(ch); err != nil {
+			fillFail, fillErr = i, sweepCellError(x, cfg, chainSolveError(isNIR, err))
+			break
+		}
+		bs.Fill(i, ch)
+		bc.preps[i] = pr
+		filled++
+	}
+
+	// Solve pass: Refactor+Solve per cell against the shared topology.
+	// A solve failure at cell i < fillFail outranks the fill failure —
+	// it is the earlier grid cell, which is what the serial per-cell
+	// loop would have reported.
+	endChunk := bs.StartChunk(ctx, filled)
+	defer endChunk()
+	for i := 0; i < filled; i++ {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		mtta, err := bs.SolveCell(i)
+		if err != nil {
+			return i, sweepCellError(xs[i], cfg, chainSolveError(isNIR, err))
+		}
+		r, err := bc.preps[i].finish(mtta)
+		if err != nil {
+			return i, sweepCellError(xs[i], cfg, err)
+		}
+		pts[i].Results[ci] = r
+	}
+	if fillErr != nil {
+		return fillFail, fillErr
+	}
+	return -1, nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+)
+
+// withBatchCells runs fn under a batch chunk-size setting, restoring the
+// previous setting afterwards.
+func withBatchCells(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := SetBatchCells(n)
+	defer SetBatchCells(prev)
+	fn()
+}
+
+// The batch engine's acceptance gate: an exact-chain sweep through the
+// batched path is bitwise identical to the per-cell path, at every
+// worker count and chunk size.
+func TestSweepBatchMatchesPerCellBitwise(t *testing.T) {
+	p := params.Baseline()
+	cfgs := SensitivityConfigs()
+	xs := make([]float64, 23)
+	for i := range xs {
+		xs[i] = 50_000 + 37_000*float64(i)
+	}
+	apply := func(p *params.Parameters, x float64) { p.NodeMTTFHours = x }
+
+	var ref []SweepPoint
+	withWorkers(t, 1, func() {
+		withBatchCells(t, -1, func() {
+			var err error
+			ref, err = Sweep(p, cfgs, MethodExactChain, xs, apply)
+			if err != nil {
+				t.Fatalf("per-cell sweep: %v", err)
+			}
+		})
+	})
+	for _, w := range []int{1, 3, runtime.NumCPU()} {
+		for _, bc := range []int{0, 1, 5, 1024} {
+			withWorkers(t, w, func() {
+				withBatchCells(t, bc, func() {
+					got, err := Sweep(p, cfgs, MethodExactChain, xs, apply)
+					if err != nil {
+						t.Fatalf("workers=%d batch=%d sweep: %v", w, bc, err)
+					}
+					if !reflect.DeepEqual(got, ref) {
+						t.Errorf("workers=%d batch=%d sweep differs from per-cell path", w, bc)
+					}
+				})
+			})
+		}
+	}
+}
+
+// The batched path must report the same first-cell error string as the
+// per-cell path, and that string must carry exactly one "core:" prefix
+// per wrapping layer — the sweep attribution no longer stutters a second
+// "core:" around the configuration.
+func TestSweepErrorShapeBatchAndPerCell(t *testing.T) {
+	p := params.Baseline()
+	cfgs := SensitivityConfigs()
+	xs := []float64{64, 2, 3}
+	apply := func(p *params.Parameters, x float64) { p.NodeSetSize = int(x) }
+
+	var perCell, batch string
+	withWorkers(t, 1, func() {
+		withBatchCells(t, -1, func() {
+			_, err := Sweep(p, cfgs, MethodExactChain, xs, apply)
+			if err == nil {
+				t.Fatal("per-cell sweep unexpectedly succeeded")
+			}
+			perCell = err.Error()
+		})
+		withBatchCells(t, 2, func() {
+			_, err := Sweep(p, cfgs, MethodExactChain, xs, apply)
+			if err == nil {
+				t.Fatal("batched sweep unexpectedly succeeded")
+			}
+			batch = err.Error()
+		})
+	})
+	if batch != perCell {
+		t.Errorf("batched error %q != per-cell error %q", batch, perCell)
+	}
+
+	// Message shape: the failing cell is x=2, config 0. The sweep prefix
+	// names the position and configuration once; the cause keeps its own
+	// single package prefix.
+	bad := p
+	bad.NodeSetSize = 2
+	_, leaf := Analyze(bad, cfgs[0], MethodExactChain)
+	if leaf == nil {
+		t.Fatal("analysis of invalid geometry unexpectedly succeeded")
+	}
+	want := fmt.Sprintf("core: sweep at x=2: %v: %v", cfgs[0], leaf)
+	if perCell != want {
+		t.Errorf("error = %q, want %q", perCell, want)
+	}
+	// The sweep wrap contributes exactly ONE "core:" on top of whatever
+	// the leaf already carries — no more stuttered double prefix.
+	if got, want := strings.Count(perCell, "core:"), 1+strings.Count(leaf.Error(), "core:"); got != want {
+		t.Errorf("error %q contains %d core: prefixes, want %d", perCell, got, want)
+	}
+
+	// And when the leaf is itself a core error (geometry), the full
+	// message still carries one prefix per layer, not per wrap.
+	applyGeom := func(p *params.Parameters, x float64) {
+		p.NodeSetSize = int(x)
+		if p.RedundancySetSize > int(x) {
+			p.RedundancySetSize = int(x)
+		}
+	}
+	_, gerr := Sweep(p, cfgs, MethodExactChain, []float64{64, 3}, applyGeom)
+	if gerr == nil {
+		t.Fatal("geometry sweep unexpectedly succeeded")
+	}
+	wantGeom := fmt.Sprintf("core: sweep at x=3: %v: core: node set size 3 too small for fault tolerance %d",
+		cfgs[0], cfgs[0].NodeFaultTolerance)
+	if gerr.Error() != wantGeom {
+		t.Errorf("geometry error = %q, want %q", gerr, wantGeom)
+	}
+}
+
+// SetBatchCells round-trips its raw setting.
+func TestSetBatchCells(t *testing.T) {
+	prev := SetBatchCells(0)
+	defer SetBatchCells(prev)
+	if got := batchCells(); got != defaultBatchCells {
+		t.Errorf("default batchCells = %d, want %d", got, defaultBatchCells)
+	}
+	if p := SetBatchCells(17); p != 0 {
+		t.Errorf("SetBatchCells returned %d, want 0", p)
+	}
+	if got := batchCells(); got != 17 {
+		t.Errorf("batchCells = %d, want 17", got)
+	}
+	if p := SetBatchCells(-1); p != 17 {
+		t.Errorf("SetBatchCells returned %d, want 17", p)
+	}
+	if got := batchCells(); got != 0 {
+		t.Errorf("disabled batchCells = %d, want 0", got)
+	}
+}
+
+// Streaming: emit sees every point exactly once, in ascending x order,
+// with results identical to the buffered sweep — at any worker count and
+// chunk size, on both engines.
+func TestSweepStreamEmitOrderDeterministic(t *testing.T) {
+	p := params.Baseline()
+	cfgs := SensitivityConfigs()
+	xs := make([]float64, 17)
+	for i := range xs {
+		xs[i] = 60_000 + 45_000*float64(i)
+	}
+	apply := func(p *params.Parameters, x float64) { p.NodeMTTFHours = x }
+
+	var ref []SweepPoint
+	withWorkers(t, 1, func() {
+		var err error
+		ref, err = Sweep(p, cfgs, MethodExactChain, xs, apply)
+		if err != nil {
+			t.Fatalf("buffered sweep: %v", err)
+		}
+	})
+
+	cases := []struct {
+		name           string
+		workers, cells int
+	}{
+		{"serial/batch", 1, 4},
+		{"parallel/batch", runtime.NumCPU(), 3},
+		{"parallel/defaultBatch", 0, 0},
+		{"parallel/perCell", runtime.NumCPU(), -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			withWorkers(t, tc.workers, func() {
+				withBatchCells(t, tc.cells, func() {
+					var streamed []SweepPoint
+					got, err := SweepStreamCtx(context.Background(), p, cfgs, MethodExactChain, xs, apply,
+						func(pt SweepPoint) error {
+							streamed = append(streamed, pt)
+							return nil
+						})
+					if err != nil {
+						t.Fatalf("stream sweep: %v", err)
+					}
+					if !reflect.DeepEqual(got, ref) {
+						t.Error("returned grid differs from buffered sweep")
+					}
+					if !reflect.DeepEqual(streamed, ref) {
+						t.Error("streamed points differ from buffered sweep (order or content)")
+					}
+				})
+			})
+		})
+	}
+}
+
+// An emit failure cancels the sweep and surfaces as the sweep's error.
+func TestSweepStreamEmitErrorCancels(t *testing.T) {
+	p := params.Baseline()
+	cfgs := SensitivityConfigs()
+	xs := make([]float64, 12)
+	for i := range xs {
+		xs[i] = 60_000 + 45_000*float64(i)
+	}
+	apply := func(p *params.Parameters, x float64) { p.NodeMTTFHours = x }
+	boom := fmt.Errorf("client went away")
+	n := 0
+	pts, err := SweepStreamCtx(context.Background(), p, cfgs, MethodExactChain, xs, apply,
+		func(SweepPoint) error {
+			n++
+			if n == 3 {
+				return boom
+			}
+			return nil
+		})
+	if err != boom {
+		t.Fatalf("stream error = %v, want %v", err, boom)
+	}
+	if pts != nil {
+		t.Error("failed stream returned a non-nil grid")
+	}
+	if n != 3 {
+		t.Errorf("emit called %d times after failure at 3", n)
+	}
+}
+
+func TestSweepStreamNilEmit(t *testing.T) {
+	p := params.Baseline()
+	_, err := SweepStreamCtx(context.Background(), p, SensitivityConfigs(), MethodExactChain,
+		[]float64{1}, func(*params.Parameters, float64) {}, nil)
+	if err == nil || !strings.Contains(err.Error(), "nil emit") {
+		t.Fatalf("nil emit error = %v", err)
+	}
+}
+
+// Series satellite: empty input yields an empty series; an out-of-range
+// configuration index panics rather than fabricating zeros.
+func TestSeriesEmptyPoints(t *testing.T) {
+	if got := Series(nil, 0); len(got) != 0 {
+		t.Errorf("Series(nil) = %v, want empty", got)
+	}
+	if got := Series([]SweepPoint{}, 3); len(got) != 0 {
+		t.Errorf("Series(empty) = %v, want empty", got)
+	}
+}
+
+func TestSeriesOutOfRangePanics(t *testing.T) {
+	pts := []SweepPoint{{X: 1, Results: []Result{{EventsPerPBYear: 2}}}}
+	if got := Series(pts, 0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Series = %v, want [2]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Series with out-of-range config index did not panic")
+		}
+	}()
+	Series(pts, 1)
+}

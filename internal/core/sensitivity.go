@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/params"
@@ -39,11 +40,47 @@ func Sweep(base params.Parameters, cfgs []Config, method Method, xs []float64, a
 // one Analyze and returns ctx.Err() instead of a partial grid.
 //
 // When the context carries an active span (obs.StartSpan), the grid is
-// traced: one "core.sweep" span brackets the whole grid and each cell's
-// analysis runs under a "core.cell" child carrying the swept x value and
-// configuration index — cells run on worker goroutines, so cell spans
-// from different workers interleave but parent correctly.
+// traced: one "core.sweep" span brackets the whole grid. On the per-cell
+// path each cell's analysis runs under a "core.cell" child carrying the
+// swept x value and configuration index; the batched exact-chain path
+// (see SetBatchCells) instead emits one "markov.batch" child per solved
+// chunk — cells and chunks run on worker goroutines, so their spans
+// interleave but parent correctly.
 func SweepCtx(ctx context.Context, base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64)) ([]SweepPoint, error) {
+	return sweepCtx(ctx, base, cfgs, method, xs, apply, nil)
+}
+
+// SweepStreamCtx is SweepCtx delivering completed points incrementally:
+// emit is called exactly once per grid point, in ascending x order, as
+// soon as every configuration at that point has been analyzed — the
+// earliest points stream out while later ones are still being solved.
+// emit is never called concurrently with itself. If emit returns an
+// error the sweep is cancelled and that error is returned; if any cell
+// fails, points from the failing x onward are never emitted and the
+// usual first-cell error is returned. The returned slice is the same
+// complete grid SweepCtx returns (nil on error); results are bitwise
+// identical to SweepCtx at any worker count.
+func SweepStreamCtx(ctx context.Context, base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64), emit func(SweepPoint) error) ([]SweepPoint, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("core: nil emit function")
+	}
+	return sweepCtx(ctx, base, cfgs, method, xs, apply, emit)
+}
+
+// sweepCellError attributes a grid-cell failure to its sweep position and
+// configuration in one prefix: "core: sweep at x=…: FT …, …: <cause>".
+// The cause keeps its own package prefix, so the message carries exactly
+// one "core:" per wrapping layer instead of stuttering.
+func sweepCellError(x float64, cfg Config, err error) error {
+	return fmt.Errorf("core: sweep at x=%v: %v: %w", x, cfg, err)
+}
+
+// sweepCtx runs the grid for SweepCtx and SweepStreamCtx (emit == nil
+// means buffered). MethodExactChain grids route through the batched
+// engine in batch.go unless SetBatchCells disabled it; everything else
+// takes the per-cell path. Both paths produce bitwise-identical grids
+// and first-error strings.
+func sweepCtx(ctx context.Context, base params.Parameters, cfgs []Config, method Method, xs []float64, apply func(*params.Parameters, float64), emit func(SweepPoint) error) ([]SweepPoint, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: empty sweep")
 	}
@@ -59,33 +96,129 @@ func SweepCtx(ctx context.Context, base params.Parameters, cfgs []Config, method
 	for i, x := range xs {
 		out[i] = SweepPoint{X: x, Results: make([]Result, len(cfgs))}
 	}
-	// Flatten to (point, configuration) cells: finer-grained than
-	// fanning out whole points, and it avoids nested pools.
-	err := runIndexedCtx(ctx, len(xs)*len(cfgs), func(cell int) error {
-		xi, ci := cell/len(cfgs), cell%len(cfgs)
-		cctx, csp := obs.StartSpan(ctx, "core.cell")
-		if csp != nil {
-			csp.SetAttr("x", xs[xi])
-			csp.SetAttr("config", ci)
+
+	var tr *pointTracker
+	if emit != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		tr = newPointTracker(out, len(cfgs), emit, cancel)
+	}
+
+	var err error
+	if method == MethodExactChain && batchCells() > 0 {
+		err = sweepBatch(ctx, base, cfgs, method, xs, apply, out, tr)
+	} else {
+		// Flatten to (point, configuration) cells: finer-grained than
+		// fanning out whole points, and it avoids nested pools.
+		err = runIndexedCtx(ctx, len(xs)*len(cfgs), func(cell int) error {
+			xi, ci := cell/len(cfgs), cell%len(cfgs)
+			cctx, csp := obs.StartSpan(ctx, "core.cell")
+			if csp != nil {
+				csp.SetAttr("x", xs[xi])
+				csp.SetAttr("config", ci)
+			}
+			p := base
+			apply(&p, xs[xi])
+			r, aerr := AnalyzeCtx(cctx, p, cfgs[ci], method)
+			csp.End()
+			if aerr != nil {
+				return sweepCellError(xs[xi], cfgs[ci], aerr)
+			}
+			out[xi].Results[ci] = r
+			tr.cellDone(xi)
+			return nil
+		})
+	}
+	if tr != nil {
+		// An emit failure cancelled the run; it outranks the ctx.Err it
+		// provoked.
+		if terr := tr.emitErr(); terr != nil {
+			return nil, terr
 		}
-		p := base
-		apply(&p, xs[xi])
-		r, err := AnalyzeCtx(cctx, p, cfgs[ci], method)
-		csp.End()
-		if err != nil {
-			return fmt.Errorf("core: sweep at x=%v: %w", xs[xi], fmt.Errorf("core: %v: %w", cfgs[ci], err))
-		}
-		out[xi].Results[ci] = r
-		return nil
-	})
+	}
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// pointTracker watches per-point completion counts for a streaming sweep
+// and emits the finished frontier in ascending x order. All methods are
+// nil-safe no-ops so the buffered path pays one pointer test per cell.
+type pointTracker struct {
+	mu        sync.Mutex
+	remaining []int
+	next      int
+	points    []SweepPoint
+	emit      func(SweepPoint) error
+	err       error
+	cancel    context.CancelFunc
+}
+
+func newPointTracker(points []SweepPoint, ncfg int, emit func(SweepPoint) error, cancel context.CancelFunc) *pointTracker {
+	rem := make([]int, len(points))
+	for i := range rem {
+		rem[i] = ncfg
+	}
+	return &pointTracker{remaining: rem, points: points, emit: emit, cancel: cancel}
+}
+
+// cellDone records one completed configuration cell at point xi.
+func (t *pointTracker) cellDone(xi int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.remaining[xi]--
+	t.advance()
+}
+
+// chunkDone records one completed configuration across points [lo, hi).
+func (t *pointTracker) chunkDone(lo, hi int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := lo; i < hi; i++ {
+		t.remaining[i]--
+	}
+	t.advance()
+}
+
+// advance emits the completed frontier. Caller holds t.mu; emit runs
+// under the lock, which is what serializes emissions and keeps them in
+// ascending x order.
+func (t *pointTracker) advance() {
+	if t.err != nil {
+		return
+	}
+	for t.next < len(t.points) && t.remaining[t.next] == 0 {
+		if err := t.emit(t.points[t.next]); err != nil {
+			t.err = err
+			t.cancel()
+			return
+		}
+		t.next++
+	}
+}
+
+func (t *pointTracker) emitErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
 // Series extracts one configuration's events-per-PB-year across the sweep,
-// index i referring to the configuration order passed to Sweep.
+// index i referring to the configuration order passed to Sweep. It
+// panics if any point has fewer than i+1 results — i must index the
+// configuration slice the sweep was run with. An empty or nil points
+// slice yields an empty series.
 func Series(points []SweepPoint, i int) []float64 {
 	out := make([]float64, len(points))
 	for j, pt := range points {

@@ -1,0 +1,300 @@
+package markov
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
+	"repro/internal/obs"
+)
+
+// BatchSolver solves many absorption problems that share one frozen
+// chain topology, structure-of-arrays style. Bind captures the topology
+// once — transient indexing, the CSR pattern of R = -Q_B, the
+// dense/sparse routing decision and (on the sparse route) the symbolic
+// factorization; Fill scatters one refilled chain's numeric values into
+// its row of a reused value slab; SolveCell runs Refactor+Solve against
+// that row. After the first chunk every per-cell step is allocation-free:
+// the per-cell cost is a value refill plus the numeric factorization,
+// with all pattern work, span bookkeeping and metric timers amortized to
+// one per chunk (StartChunk).
+//
+// Routing mirrors Solver.MTTACtx exactly — dense LU below the
+// SetSparseMinStates crossover or above the density guard, sparse LU
+// with the τ-nonnegativity certificate and dense fallback otherwise — so
+// a batched cell is bit-identical to the same cell solved through the
+// per-cell path.
+//
+// A BatchSolver is not safe for concurrent use; each worker owns one
+// (see AcquireBatchSolver).
+type BatchSolver struct {
+	// Bound topology: n chain states, m = len(trans) transient rows.
+	n       int
+	label   string
+	nedges  int
+	initRow int
+	trans   []int
+	pos     []int
+	// CSR pattern of R shared by every cell: rowptr/col, with diagSlot
+	// locating row i's diagonal and (edgeIdx, edgeSlot) pairing each
+	// transient-target chain edge with its value slot. Absorbing-target
+	// edges have no slot — they reach R only through the diagonal's exit
+	// sum, which Fill reads from the chain's precomputed exits.
+	rowptr   []int
+	col      []int
+	diagSlot []int
+	edgeIdx  []int
+	edgeSlot []int
+	nnz      int
+
+	// Routing captured at Bind: sparseRoute selects the sparse path; num
+	// is the shared numeric factorization (nil if symbolic analysis
+	// failed, which falls back to dense per cell exactly like the
+	// per-cell path's analyze failure).
+	sparseRoute bool
+	num         *sparse.Numeric
+	cache       topoCache
+	view        sparse.CSR
+
+	// vals is the SoA slab: cell i's matrix values are
+	// vals[i*nnz:(i+1)*nnz], row-major within the shared pattern.
+	vals []float64
+
+	// Per-solve scratch.
+	rhs, tau, work []float64
+	r              *linalg.Matrix
+	f              linalg.LU
+	vs             validateScratch
+}
+
+// NewBatchSolver returns an empty BatchSolver; buffers are sized by Bind
+// and Cells.
+func NewBatchSolver() *BatchSolver {
+	return &BatchSolver{r: linalg.New(0, 0)}
+}
+
+// batchPool recycles BatchSolvers (and their pattern, slab and symbolic
+// caches) across sweep chunks, so consecutive chunks of one topology pay
+// the symbolic analysis once per pooled solver, not once per chunk.
+var batchPool = sync.Pool{New: func() any { return NewBatchSolver() }}
+
+// AcquireBatchSolver returns a pooled BatchSolver.
+func AcquireBatchSolver() *BatchSolver { return batchPool.Get().(*BatchSolver) }
+
+// ReleaseBatchSolver hands a BatchSolver back for recycling. The caller
+// must not use it afterwards.
+func ReleaseBatchSolver(b *BatchSolver) { batchPool.Put(b) }
+
+// Bind captures c's topology: state indexing, the CSR pattern of the
+// absorption matrix, the dense/sparse route and — on the sparse route —
+// the symbolic factorization (reused across Binds of the same pattern
+// via the solver's MRU cache; a fresh analysis is traced as
+// "sparse.symbolic"). The chain must be frozen; its current rates are
+// irrelevant. Binding does not validate rates — ValidateRates does, per
+// cell.
+func (b *BatchSolver) Bind(ctx context.Context, c *Chain) error {
+	if !c.Frozen() {
+		return fmt.Errorf("markov: BatchSolver requires a frozen chain")
+	}
+	if len(c.names) == 0 {
+		return fmt.Errorf("markov: chain has no states")
+	}
+	if c.initial < 0 {
+		return fmt.Errorf("markov: chain has no initial state")
+	}
+	if len(c.absorbing) == 0 {
+		return fmt.Errorf("markov: chain has no absorbing state")
+	}
+	b.n = c.NumStates()
+	b.label = c.Label()
+	b.nedges = len(c.edges)
+	if cap(b.pos) < b.n {
+		b.pos = make([]int, b.n)
+	} else {
+		b.pos = b.pos[:b.n]
+	}
+	b.trans = b.trans[:0]
+	for i := 0; i < b.n; i++ {
+		if c.absorbing[i] {
+			b.pos[i] = -1
+		} else {
+			b.pos[i] = len(b.trans)
+			b.trans = append(b.trans, i)
+		}
+	}
+	b.initRow = b.pos[c.initial]
+	m := len(b.trans)
+
+	// Pattern assembly: same emission order as Solver.assembleSparse —
+	// transient successors ascending (already target-sorted, and the
+	// state→row map is monotone) with the diagonal merged in place — so
+	// the pattern, and therefore the factorization, matches the per-cell
+	// path entry for entry.
+	if cap(b.rowptr) < m+1 {
+		b.rowptr = make([]int, m+1)
+	} else {
+		b.rowptr = b.rowptr[:m+1]
+	}
+	b.rowptr[0] = 0
+	if cap(b.diagSlot) < m {
+		b.diagSlot = make([]int, m)
+	} else {
+		b.diagSlot = b.diagSlot[:m]
+	}
+	b.col = b.col[:0]
+	b.edgeIdx = b.edgeIdx[:0]
+	b.edgeSlot = b.edgeSlot[:0]
+	for row, st := range b.trans {
+		diagDone := false
+		for p := c.ptr[st]; p < c.ptr[st+1]; p++ {
+			col := b.pos[c.edges[p].To]
+			if col < 0 {
+				continue
+			}
+			if !diagDone && col > row {
+				b.diagSlot[row] = len(b.col)
+				b.col = append(b.col, row)
+				diagDone = true
+			}
+			b.edgeIdx = append(b.edgeIdx, p)
+			b.edgeSlot = append(b.edgeSlot, len(b.col))
+			b.col = append(b.col, col)
+		}
+		if !diagDone {
+			b.diagSlot[row] = len(b.col)
+			b.col = append(b.col, row)
+		}
+		b.rowptr[row+1] = len(b.col)
+	}
+	b.nnz = len(b.col)
+
+	b.rhs = resizeFloats(b.rhs, m)
+	b.tau = resizeFloats(b.tau, m)
+	b.work = resizeFloats(b.work, m)
+	for i := range b.rhs {
+		b.rhs[i] = 0
+	}
+	if b.initRow >= 0 {
+		b.rhs[b.initRow] = 1
+	}
+
+	b.num = nil
+	b.sparseRoute = m >= sparseMinStates() &&
+		float64(b.nnz) <= maxSparseDensity*float64(m)*float64(m)
+	if b.sparseRoute {
+		b.Cells(1) // the pattern lookup needs a full-length value view
+		b.view = sparse.CSR{Rows: m, Cols: m, RowPtr: b.rowptr, Col: b.col, Val: b.vals[:b.nnz]}
+		num, err := b.cache.lookup(ctx, &b.view)
+		if err == nil {
+			b.num = num
+		}
+		// A failed analysis leaves num nil: SolveCell then falls back to
+		// dense per cell, exactly as the per-cell path does on the same
+		// failure — counted, never silent.
+	}
+	return nil
+}
+
+// Cells ensures the value slab holds at least n cells (monotonic growth;
+// existing cell rows are preserved).
+func (b *BatchSolver) Cells(n int) {
+	if need := n * b.nnz; cap(b.vals) < need {
+		grown := make([]float64, need)
+		copy(grown, b.vals)
+		b.vals = grown
+	} else {
+		b.vals = b.vals[:need]
+	}
+}
+
+// ValidateRates runs the bound chain's Validate with the solver's reused
+// scratch: identical checks, identical messages, no allocation.
+func (b *BatchSolver) ValidateRates(c *Chain) error { return c.validate(&b.vs) }
+
+// Fill scatters c's current rates into cell's row of the value slab.
+// c must be a chain of the bound topology (any refill of the chain Bind
+// saw, or a pooled sibling of the same family); cell must be below the
+// Cells bound. The scattered row is exactly the matrix assembleSparse
+// would emit: diagonal = the chain's precomputed exit sum (same sorted
+// summation order), off-diagonals = -rate.
+func (b *BatchSolver) Fill(cell int, c *Chain) {
+	if c.NumStates() != b.n || len(c.edges) != b.nedges || c.Label() != b.label {
+		panic(fmt.Sprintf("markov: Fill chain (%d states, %d edges, label %q) does not match bound topology (%d, %d, %q)",
+			c.NumStates(), len(c.edges), c.Label(), b.n, b.nedges, b.label))
+	}
+	v := b.vals[cell*b.nnz : (cell+1)*b.nnz]
+	for row, st := range b.trans {
+		v[b.diagSlot[row]] = c.exit[st]
+	}
+	for i, e := range b.edgeIdx {
+		v[b.edgeSlot[i]] = -c.edges[e].Rate
+	}
+}
+
+// StartChunk opens one "markov.batch" span and one chunk timer covering
+// the SolveCell calls that follow; the returned stop function closes
+// both. One span and one metric observation cover the whole chunk —
+// that is the amortization the batch path exists for.
+func (b *BatchSolver) StartChunk(ctx context.Context, cells int) func() {
+	_, sp := obs.StartSpan(ctx, "markov.batch")
+	if sp != nil {
+		sp.SetAttr("cells", cells)
+		sp.SetAttr("states", b.n)
+		sp.SetAttr("sparse", b.sparseRoute)
+	}
+	stop := batchChunkTimer(cells)
+	return func() {
+		sp.End()
+		if stop != nil {
+			stop()
+		}
+	}
+}
+
+// SolveCell solves the filled cell for its mean time to absorption,
+// reusing all solver storage (0 allocs after warmup). The numeric path
+// and its results are bit-identical to Solver.MTTACtx on the same chain:
+// sparse Refactor+SolveTranspose with the τ certificate and dense
+// partial-pivot fallback on the sparse route, dense LU otherwise.
+func (b *BatchSolver) SolveCell(cell int) (float64, error) {
+	if b.initRow < 0 {
+		return 0, nil // initial state is absorbing
+	}
+	m := len(b.trans)
+	timer := absorptionTimer(b.n)
+	v := b.vals[cell*b.nnz : (cell+1)*b.nnz]
+	if b.sparseRoute {
+		if b.num != nil {
+			b.view.Val = v
+			if err := b.num.Refactor(&b.view); err == nil {
+				b.num.SolveTransposeInto(b.tau, b.rhs, b.work)
+				if tauPlausible(b.tau) {
+					sparseSolveDone(&b.view)
+					if timer != nil {
+						timer(sparseResidual(&b.view, b.tau, b.initRow, b.work))
+					}
+					return linalg.Sum(b.tau), nil
+				}
+			}
+		}
+		// Zero pivot, implausible τ, or no symbolic analysis: redo with
+		// dense partial pivoting, the authoritative fallback.
+		sparseFellBack()
+	}
+	b.r.Reshape(m, m)
+	for row := 0; row < m; row++ {
+		for p := b.rowptr[row]; p < b.rowptr[row+1]; p++ {
+			b.r.Set(row, b.col[p], v[p])
+		}
+	}
+	if err := linalg.FactorizeInto(&b.f, b.r); err != nil {
+		return 0, fmt.Errorf("markov: absorption matrix: %w", err)
+	}
+	b.f.SolveTransposeInto(b.tau, b.rhs, b.work)
+	if timer != nil {
+		timer(absorptionResidual(b.r, b.tau, b.initRow))
+	}
+	return linalg.Sum(b.tau), nil
+}

@@ -40,7 +40,7 @@ type Solver struct {
 	// Sparse path: the assembled absorption matrix (buffers reused
 	// across calls) and the most-recently-used topology cache.
 	sp    sparse.CSR
-	cache []*topoEntry
+	cache topoCache
 }
 
 // topoCacheSize bounds the per-Solver symbolic cache. Sweeps interleave
@@ -210,6 +210,10 @@ func (s *Solver) assembleSparse(c *Chain) {
 	}
 }
 
+// topoCache is the MRU list of pattern→factorization entries shared by
+// Solver (per-cell solves) and BatchSolver (batched chunks).
+type topoCache []*topoEntry
+
 // lookupTopology returns the cached factorization whose pattern matches
 // the assembled CSR, building (and caching) a new symbolic analysis on
 // miss. Hits move to the front; the cache evicts from the back. Hit or
@@ -218,36 +222,44 @@ func (s *Solver) assembleSparse(c *Chain) {
 // A miss's ordering + symbolic analysis is traced as "sparse.symbolic";
 // hits skip that work and so carry no span.
 func (s *Solver) lookupTopology(ctx context.Context) (*sparse.Numeric, error) {
-	for i, e := range s.cache {
-		if !patternEqual(e.rowptr, e.col, s.sp.RowPtr, s.sp.Col) {
+	return s.cache.lookup(ctx, &s.sp)
+}
+
+// lookup implements the MRU search and miss handling for lookupTopology;
+// a is only read, and the cached pattern slices are private copies.
+func (tc *topoCache) lookup(ctx context.Context, a *sparse.CSR) (*sparse.Numeric, error) {
+	cache := *tc
+	for i, e := range cache {
+		if !patternEqual(e.rowptr, e.col, a.RowPtr, a.Col) {
 			continue
 		}
 		if i > 0 {
-			copy(s.cache[1:i+1], s.cache[:i])
-			s.cache[0] = e
+			copy(cache[1:i+1], cache[:i])
+			cache[0] = e
 		}
 		sparseReuseHit()
 		return e.num, nil
 	}
 	_, sp := obs.StartSpan(ctx, "sparse.symbolic")
-	sym, err := sparse.Analyze(&s.sp)
+	sym, err := sparse.Analyze(a)
 	if sp != nil {
-		sp.SetAttr("nnz", s.sp.NNZ())
+		sp.SetAttr("nnz", a.NNZ())
 		sp.End()
 	}
 	if err != nil {
 		return nil, err
 	}
 	e := &topoEntry{
-		rowptr: append([]int(nil), s.sp.RowPtr...),
-		col:    append([]int(nil), s.sp.Col...),
+		rowptr: append([]int(nil), a.RowPtr...),
+		col:    append([]int(nil), a.Col...),
 		num:    sparse.NewNumeric(sym),
 	}
-	if len(s.cache) < topoCacheSize {
-		s.cache = append(s.cache, nil)
+	if len(cache) < topoCacheSize {
+		cache = append(cache, nil)
 	}
-	copy(s.cache[1:], s.cache)
-	s.cache[0] = e
+	copy(cache[1:], cache)
+	cache[0] = e
+	*tc = cache
 	sparseSymbolicBuilt(sym)
 	return e.num, nil
 }

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/closedform"
+	"repro/internal/markov"
+)
+
+// chainsBitwiseEqual fails the test unless a and b have identical
+// topology and bit-identical rates and exit sums. Both chains must come
+// from the same builder family so state indexing matches.
+func chainsBitwiseEqual(t *testing.T, a, b *markov.Chain) {
+	t.Helper()
+	if a.NumStates() != b.NumStates() {
+		t.Fatalf("state counts differ: %d vs %d", a.NumStates(), b.NumStates())
+	}
+	for i := 0; i < a.NumStates(); i++ {
+		if a.StateName(i) != b.StateName(i) {
+			t.Fatalf("state %d named %q vs %q", i, a.StateName(i), b.StateName(i))
+		}
+		ea, eb := a.Successors(i), b.Successors(i)
+		if len(ea) != len(eb) {
+			t.Fatalf("state %q out-degree %d vs %d", a.StateName(i), len(ea), len(eb))
+		}
+		for j := range ea {
+			if ea[j].To != eb[j].To || ea[j].Rate != eb[j].Rate {
+				t.Fatalf("state %q edge %d: (%d, %v) vs (%d, %v)",
+					a.StateName(i), j, ea[j].To, ea[j].Rate, eb[j].To, eb[j].Rate)
+			}
+		}
+		if a.ExitRate(i) != b.ExitRate(i) {
+			t.Fatalf("state %q exit %v vs %v", a.StateName(i), a.ExitRate(i), b.ExitRate(i))
+		}
+	}
+}
+
+func randomNIRInputs(rng *rand.Rand, k int) closedform.NIRInputs {
+	n := k + 2 + rng.Intn(50)
+	rlo := k + 1
+	r := rlo + rng.Intn(n-rlo+1)
+	return closedform.NIRInputs{
+		N:       n,
+		R:       r,
+		D:       1 + rng.Intn(12),
+		LambdaN: rng.Float64() * 1e-3,
+		LambdaD: rng.Float64() * 1e-3,
+		MuN:     rng.Float64() * 10,
+		MuD:     rng.Float64() * 10,
+		CHER:    rng.Float64() * 1e-2,
+	}
+}
+
+func randomIRInputs(rng *rand.Rand, k int) closedform.IRInputs {
+	n := k + 2 + rng.Intn(50)
+	rlo := k + 1
+	r := rlo + rng.Intn(n-rlo+1)
+	return closedform.IRInputs{
+		N:            n,
+		R:            r,
+		LambdaN:      rng.Float64() * 1e-3,
+		LambdaArray:  rng.Float64() * 1e-3,
+		LambdaSector: rng.Float64() * 1e-2,
+		MuN:          rng.Float64() * 10,
+	}
+}
+
+// The refill program must track the string builder in lockstep: for any
+// valid inputs, Refill produces a chain bit-identical to a fresh
+// NIRChain build — every rate and every exit sum.
+func TestNIRRefillerLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for k := 1; k <= 6; k++ {
+		r := AcquireNIRRefiller(randomNIRInputs(rng, k), k)
+		for trial := 0; trial < 25; trial++ {
+			in := randomNIRInputs(rng, k)
+			got := r.Refill(in)
+			want := markov.NewChain()
+			want.SetLabel(got.Label())
+			want.SetInitial(padLabel("", k))
+			want.SetAbsorbing("loss")
+			buildNIR(want, in, k, "")
+			want.Freeze()
+			chainsBitwiseEqual(t, got, want)
+		}
+		r.Release()
+	}
+}
+
+func TestIRRefillerLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for k := 1; k <= 6; k++ {
+		r := AcquireIRRefiller(randomIRInputs(rng, k), k)
+		for trial := 0; trial < 25; trial++ {
+			in := randomIRInputs(rng, k)
+			got := r.Refill(in)
+			want := markov.NewChain()
+			want.SetLabel(got.Label())
+			want.SetInitial("0")
+			want.SetAbsorbing("loss")
+			buildIR(want, in, k)
+			want.Freeze()
+			chainsBitwiseEqual(t, got, want)
+		}
+		r.Release()
+	}
+}
+
+// A recycled refiller refills exactly like the one that was released —
+// pooling must be invisible in results.
+func TestRefillerPoolRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const k = 3
+	in := randomNIRInputs(rng, k)
+	r1 := AcquireNIRRefiller(in, k)
+	fresh := markov.NewChain()
+	fresh.SetLabel(r1.Chain().Label())
+	fresh.SetInitial(padLabel("", k))
+	fresh.SetAbsorbing("loss")
+	buildNIR(fresh, in, k, "")
+	fresh.Freeze()
+	chainsBitwiseEqual(t, r1.Chain(), fresh)
+	r1.Release()
+	r2 := AcquireNIRRefiller(in, k)
+	chainsBitwiseEqual(t, r2.Chain(), fresh)
+	r2.Release()
+}
+
+// Refill is the batch sweep's per-cell chain cost; it must not allocate
+// after the first call.
+func TestRefillAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	nirIn := randomNIRInputs(rng, 4)
+	nir := AcquireNIRRefiller(nirIn, 4)
+	defer nir.Release()
+	nir.Refill(nirIn) // warmup
+	if n := testing.AllocsPerRun(100, func() { nir.Refill(nirIn) }); n != 0 {
+		t.Errorf("NIRRefiller.Refill allocates %v times per run, want 0", n)
+	}
+	irIn := randomIRInputs(rng, 4)
+	ir := AcquireIRRefiller(irIn, 4)
+	defer ir.Release()
+	ir.Refill(irIn)
+	if n := testing.AllocsPerRun(100, func() { ir.Refill(irIn) }); n != 0 {
+		t.Errorf("IRRefiller.Refill allocates %v times per run, want 0", n)
+	}
+}
+
+// Refill validates geometry with the builders' messages.
+func TestRefillGeometryPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := AcquireNIRRefiller(randomNIRInputs(rng, 2), 2)
+	defer r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Refill with invalid geometry did not panic")
+		}
+	}()
+	r.Refill(closedform.NIRInputs{N: 3, R: 2, D: 1}) // N <= k+1
+}

@@ -116,18 +116,65 @@ func (c *resultCache) do(ctx context.Context, key string, solve func() ([]byte, 
 		} else {
 			e.body = body
 			e.elem = c.lru.PushFront(e)
-			for c.lru.Len() > c.max {
-				oldest := c.lru.Back()
-				c.lru.Remove(oldest)
-				delete(c.entries, oldest.Value.(*cacheEntry).key)
-				c.evictions.Inc()
-			}
+			c.evictOver()
 		}
 		e.err = err
 		c.mu.Unlock()
 		close(e.done)
 		return body, false, err
 	}
+}
+
+// evictOver drops least-recently-used completed entries until the cache
+// fits. Caller holds c.mu.
+func (c *resultCache) evictOver() {
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+}
+
+// peek returns the completed cached body for key without solving or
+// waiting: in-flight entries report a miss (streaming callers must not
+// block on a buffered leader — they re-solve and stream). A hit counts
+// as a cache hit and refreshes the entry's LRU position.
+func (c *resultCache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.elem == nil { // absent, or in flight (elem set only on completed success)
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	body := e.body
+	c.mu.Unlock()
+	c.hits.Inc()
+	return body, true
+}
+
+// missed counts one solve that bypassed do's election (a streaming
+// solve after a peek miss), keeping the hit/miss ratio meaningful.
+func (c *resultCache) missed() { c.misses.Inc() }
+
+// put inserts a completed successful result for key — the streaming
+// path's way of filling the cache after emitting its rows. If any entry
+// for the key already exists (a concurrent buffered solve in flight, or
+// a completed body) the call is a no-op: the existing entry's bytes stay
+// authoritative, and an in-flight leader's waiters keep their contract.
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	done := make(chan struct{})
+	close(done)
+	e := &cacheEntry{done: done, body: body, key: key}
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(e)
+	c.evictOver()
 }
 
 // len returns the number of completed cached results.

@@ -203,6 +203,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	key := canonicalKey("sweep", job)
 	csp.End()
+	// The cache key is a function of the job alone: a streamed and a
+	// buffered request for the same sweep share one entry, whichever
+	// arrives first fills it.
+	if wantsNDJSON(r) {
+		s.streamSweep(w, r, key, job)
+		return
+	}
 	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
 		apply := sweepKnobs[job.Parameter]
 		points, err := core.SweepCtx(ctx, job.Params, job.Configs, job.Method, job.Values, apply)
@@ -215,18 +222,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Points:    make([]SweepPointResponse, len(points)),
 		}
 		for i, pt := range points {
-			results := make([]SweepResult, len(pt.Results))
-			for j, res := range pt.Results {
-				results[j] = SweepResult{
-					Configuration:   res.Config.String(),
-					MTTDLHours:      res.MTTDLHours,
-					EventsPerPBYear: res.EventsPerPBYear,
-				}
-			}
-			resp.Points[i] = SweepPointResponse{X: pt.X, Results: results}
+			resp.Points[i] = sweepPointResponseFrom(pt)
 		}
 		return json.Marshal(resp)
 	})
+}
+
+// sweepPointResponseFrom renders one solved sweep point as its wire row.
+// Both the buffered body and the NDJSON stream build rows here, which is
+// what makes a streamed sweep reassemble byte-for-byte into the buffered
+// response.
+func sweepPointResponseFrom(pt core.SweepPoint) SweepPointResponse {
+	results := make([]SweepResult, len(pt.Results))
+	for j, res := range pt.Results {
+		results[j] = SweepResult{
+			Configuration:   res.Config.String(),
+			MTTDLHours:      res.MTTDLHours,
+			EventsPerPBYear: res.EventsPerPBYear,
+		}
+	}
+	return SweepPointResponse{X: pt.X, Results: results}
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,14 @@
 //	GET  /healthz      liveness probe + build identity
 //	GET  /metrics      obs registry (Prometheus text; ?format=json|text)
 //
+// /v1/sweep additionally streams: a request with an Accept header
+// naming application/x-ndjson receives newline-delimited JSON — one
+// header line, one line per completed sweep point (in x order, written
+// as points finish solving), and a done/error trailer — instead of one
+// buffered body. The streamed rows are byte-identical to the buffered
+// response's points array, and a completed stream fills the same cache
+// entry the buffered path would have.
+//
 // Three properties hold for every compute endpoint:
 //
 //	Caching. Requests are resolved to a canonical job (presets and
@@ -121,6 +129,13 @@ type metrics struct {
 	solves   *obs.Counter
 	slow     *obs.Counter
 	inflight *obs.Gauge
+
+	// Streaming sweep telemetry: streams started, point rows written,
+	// and streams that ended without a done:true trailer (client gone,
+	// sweep error, or cancellation).
+	streams      *obs.Counter
+	streamRows   *obs.Counter
+	streamAborts *obs.Counter
 }
 
 // endpoints lists every routed endpoint; the compute entries solve, the
@@ -129,13 +144,16 @@ var endpoints = []string{"analyze", "sweep", "simulate", "healthz", "metrics"}
 
 func newMetrics(reg *obs.Registry) *metrics {
 	m := &metrics{
-		requests: make(map[string]*obs.Counter),
-		latency:  make(map[string]*obs.Histogram),
-		statuses: make(map[string][6]*obs.Counter),
-		errors:   reg.Counter("serve.errors"),
-		solves:   reg.Counter("serve.solves"),
-		slow:     reg.Counter("serve.slow_requests"),
-		inflight: reg.Gauge("serve.inflight"),
+		requests:     make(map[string]*obs.Counter),
+		latency:      make(map[string]*obs.Histogram),
+		statuses:     make(map[string][6]*obs.Counter),
+		errors:       reg.Counter("serve.errors"),
+		solves:       reg.Counter("serve.solves"),
+		slow:         reg.Counter("serve.slow_requests"),
+		inflight:     reg.Gauge("serve.inflight"),
+		streams:      reg.Counter("serve.stream.streams"),
+		streamRows:   reg.Counter("serve.stream.rows"),
+		streamAborts: reg.Counter("serve.stream.aborted"),
 	}
 	for _, ep := range endpoints {
 		m.requests[ep] = reg.Counter("serve.requests." + ep)
@@ -244,6 +262,16 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the wrapped writer so streaming handlers can push
+// rows through the recorder. The embedded interface field does not
+// promote the concrete writer's Flush, so without this method every
+// instrumented handler would fail the http.Flusher assertion.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // accessRecord is one structured access-log line.

@@ -120,79 +120,137 @@ func traceSweepBody(n int) string {
 }
 
 // TestSweepSpanTree drives a sweep onto the sparse CTMC path (wide
-// chains at r=48, ft=8) and asserts the acceptance-critical stages all
-// appear in the trace: cache, freeze, symbolic, refactor and solve — with
-// per-cell spans parenting the chain stages.
+// chains at r=48, ft=8) and pins the span-tree shape of both sweep
+// engines. The default batched engine amortizes per-cell bookkeeping
+// into one "markov.batch" span per chunk (DESIGN.md §11); the per-cell
+// path (batching disabled) keeps the §10 tree: per-cell spans parenting
+// freeze, symbolic, refactor and solve.
 func TestSweepSpanTree(t *testing.T) {
-	// One worker ⇒ one pooled Solver serves every cell, so the grid pays
-	// exactly one symbolic analysis and the reuse assertion below is
-	// deterministic on any machine.
+	// One worker ⇒ one pooled solver serves every cell (and one chunk on
+	// the batched path), so the span counts below are deterministic on
+	// any machine.
 	core.SetMaxWorkers(1)
 	defer core.SetMaxWorkers(0)
 
-	var buf bytes.Buffer
-	s := New(Options{MaxGridCells: 65536, TraceWriter: &buf})
-	h := s.Handler()
-	w := postJSON(t, h, "/v1/sweep", traceSweepBody(4))
-	if w.Code != http.StatusOK {
-		t.Fatalf("sweep: %d %s", w.Code, w.Body.String())
-	}
-	spans := readSpans(t, &buf)
-	idx := spanIndex(spans)
-	for _, name := range []string{
-		"serve.request", "serve.cache", "serve.compute", "core.sweep",
-		"core.cell", "chain.freeze", "sparse.symbolic", "sparse.refactor",
-		"sparse.solve", "markov.solve",
-	} {
-		if len(idx[name]) == 0 {
-			t.Errorf("sweep trace missing %q span; have %v", name, names(spans))
+	t.Run("batched", func(t *testing.T) {
+		var buf bytes.Buffer
+		s := New(Options{MaxGridCells: 65536, TraceWriter: &buf})
+		h := s.Handler()
+		w := postJSON(t, h, "/v1/sweep", traceSweepBody(4))
+		if w.Code != http.StatusOK {
+			t.Fatalf("sweep: %d %s", w.Code, w.Body.String())
 		}
-	}
-	// One cell span per grid cell; every cell under the sweep span.
-	if got := len(idx["core.cell"]); got != 4 {
-		t.Errorf("core.cell spans = %d, want 4", got)
-	}
-	for _, cell := range idx["core.cell"] {
-		if !hasAncestor(spans, cell, "core.sweep") {
-			t.Errorf("core.cell span %d not under core.sweep", cell.ID)
-		}
-	}
-	// The sparse stages belong to a solve, which belongs to a cell.
-	for _, name := range []string{"sparse.refactor", "sparse.solve"} {
-		for _, sp := range idx[name] {
-			if !hasAncestor(spans, sp, "markov.solve") {
-				t.Errorf("%s span %d not under markov.solve", name, sp.ID)
+		spans := readSpans(t, &buf)
+		idx := spanIndex(spans)
+		for _, name := range []string{
+			"serve.request", "serve.cache", "serve.compute", "core.sweep",
+			"markov.batch",
+		} {
+			if len(idx[name]) == 0 {
+				t.Errorf("sweep trace missing %q span; have %v", name, names(spans))
 			}
 		}
-	}
-	for _, solve := range idx["markov.solve"] {
-		if !hasAncestor(spans, solve, "core.cell") {
-			t.Errorf("markov.solve span %d not under core.cell", solve.ID)
+		// 4 cells, one worker, default 256-cell chunks: exactly one chunk
+		// span, hung off the sweep under the request root.
+		if got := len(idx["markov.batch"]); got != 1 {
+			t.Errorf("markov.batch spans = %d, want 1", got)
 		}
-	}
-	// One topology shared across cells: the symbolic analysis runs on
-	// the miss only, then is reused.
-	if got := len(idx["sparse.symbolic"]); got < 1 || got >= len(idx["sparse.refactor"]) {
-		t.Errorf("sparse.symbolic spans = %d (refactors %d): want fewer symbolic analyses than refactors",
-			got, len(idx["sparse.refactor"]))
-	}
+		for _, ch := range idx["markov.batch"] {
+			if !hasAncestor(spans, ch, "core.sweep") || !hasAncestor(spans, ch, "serve.request") {
+				t.Errorf("markov.batch span %d not rooted under core.sweep/serve.request", ch.ID)
+			}
+		}
+		// No per-cell spans on the batch path — the chunk span replacing
+		// them is the amortization the engine exists for.
+		if got := len(idx["core.cell"]); got != 0 {
+			t.Errorf("core.cell spans = %d on the batched path, want 0", got)
+		}
 
-	// The same request without a TraceWriter still feeds the stage
-	// histograms on /metrics (fold-only mode).
-	s2 := New(Options{MaxGridCells: 65536})
-	h2 := s2.Handler()
-	if w := postJSON(t, h2, "/v1/sweep", traceSweepBody(4)); w.Code != http.StatusOK {
-		t.Fatalf("untraced sweep: %d %s", w.Code, w.Body.String())
-	}
-	snap := s2.Registry().Snapshot()
-	for _, hist := range []string{
-		"trace.serve.request.seconds", "trace.core.cell.seconds",
-		"trace.sparse.solve.seconds", "trace.chain.freeze.seconds",
-	} {
-		if _, ok := snap.Histograms[hist]; !ok {
-			t.Errorf("fold-only server missing %q histogram", hist)
+		// The same request without a TraceWriter still feeds the stage
+		// histograms on /metrics (fold-only mode).
+		s2 := New(Options{MaxGridCells: 65536})
+		h2 := s2.Handler()
+		if w := postJSON(t, h2, "/v1/sweep", traceSweepBody(4)); w.Code != http.StatusOK {
+			t.Fatalf("untraced sweep: %d %s", w.Code, w.Body.String())
 		}
-	}
+		snap := s2.Registry().Snapshot()
+		for _, hist := range []string{
+			"trace.serve.request.seconds", "trace.core.sweep.seconds",
+			"trace.markov.batch.seconds",
+		} {
+			if _, ok := snap.Histograms[hist]; !ok {
+				t.Errorf("fold-only server missing %q histogram", hist)
+			}
+		}
+	})
+
+	t.Run("percell", func(t *testing.T) {
+		prev := core.SetBatchCells(-1)
+		defer core.SetBatchCells(prev)
+
+		var buf bytes.Buffer
+		s := New(Options{MaxGridCells: 65536, TraceWriter: &buf})
+		h := s.Handler()
+		w := postJSON(t, h, "/v1/sweep", traceSweepBody(4))
+		if w.Code != http.StatusOK {
+			t.Fatalf("sweep: %d %s", w.Code, w.Body.String())
+		}
+		spans := readSpans(t, &buf)
+		idx := spanIndex(spans)
+		for _, name := range []string{
+			"serve.request", "serve.cache", "serve.compute", "core.sweep",
+			"core.cell", "chain.freeze", "sparse.symbolic", "sparse.refactor",
+			"sparse.solve", "markov.solve",
+		} {
+			if len(idx[name]) == 0 {
+				t.Errorf("sweep trace missing %q span; have %v", name, names(spans))
+			}
+		}
+		// One cell span per grid cell; every cell under the sweep span.
+		if got := len(idx["core.cell"]); got != 4 {
+			t.Errorf("core.cell spans = %d, want 4", got)
+		}
+		for _, cell := range idx["core.cell"] {
+			if !hasAncestor(spans, cell, "core.sweep") {
+				t.Errorf("core.cell span %d not under core.sweep", cell.ID)
+			}
+		}
+		// The sparse stages belong to a solve, which belongs to a cell.
+		for _, name := range []string{"sparse.refactor", "sparse.solve"} {
+			for _, sp := range idx[name] {
+				if !hasAncestor(spans, sp, "markov.solve") {
+					t.Errorf("%s span %d not under markov.solve", name, sp.ID)
+				}
+			}
+		}
+		for _, solve := range idx["markov.solve"] {
+			if !hasAncestor(spans, solve, "core.cell") {
+				t.Errorf("markov.solve span %d not under core.cell", solve.ID)
+			}
+		}
+		// One topology shared across cells: the symbolic analysis runs on
+		// the miss only, then is reused.
+		if got := len(idx["sparse.symbolic"]); got < 1 || got >= len(idx["sparse.refactor"]) {
+			t.Errorf("sparse.symbolic spans = %d (refactors %d): want fewer symbolic analyses than refactors",
+				got, len(idx["sparse.refactor"]))
+		}
+
+		// Fold-only mode covers the per-cell stages too.
+		s2 := New(Options{MaxGridCells: 65536})
+		h2 := s2.Handler()
+		if w := postJSON(t, h2, "/v1/sweep", traceSweepBody(4)); w.Code != http.StatusOK {
+			t.Fatalf("untraced sweep: %d %s", w.Code, w.Body.String())
+		}
+		snap := s2.Registry().Snapshot()
+		for _, hist := range []string{
+			"trace.serve.request.seconds", "trace.core.cell.seconds",
+			"trace.sparse.solve.seconds", "trace.chain.freeze.seconds",
+		} {
+			if _, ok := snap.Histograms[hist]; !ok {
+				t.Errorf("fold-only server missing %q histogram", hist)
+			}
+		}
+	})
 }
 
 func names(spans []obs.SpanRecord) []string {
