@@ -6,8 +6,9 @@
 //
 //	nsr-serve [-addr :8080] [-workers 0] [-batch-cells 0] [-cache 256]
 //	          [-drain 10s] [-grid-cells 4096] [-sim-trials 20000]
-//	          [-max-body 1048576] [-access-log FILE] [-slow 1s]
-//	          [-trace-out FILE] [-pprof-http host:port] [-version]
+//	          [-max-fleet-brick-years 2e7] [-max-body 1048576]
+//	          [-access-log FILE] [-slow 1s] [-trace-out FILE]
+//	          [-pprof-http host:port] [-version]
 //
 // Endpoints: POST /v1/analyze, /v1/sweep, /v1/simulate;
 // GET /healthz, /metrics (Prometheus text by default; ?format=json).
@@ -67,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before in-flight solves are cancelled")
 	gridCells := fs.Int("grid-cells", 4096, "maximum sweep grid cells (values × configs)")
 	simTrials := fs.Int("sim-trials", 20_000, "maximum trials per simulate request")
+	fleetBY := fs.Float64("max-fleet-brick-years", 0, "maximum bricks × years per fleet simulate request (0 = default 2e7)")
 	maxBody := fs.Int64("max-body", 1<<20, "maximum request body bytes")
 	accessLog := fs.String("access-log", "", "append JSONL access-log lines to this file (\"-\" = stdout)")
 	slow := fs.Duration("slow", time.Second, "mark requests at or above this duration as slow (negative disables)")
@@ -109,13 +111,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	srv := serve.New(serve.Options{
-		CacheEntries:  *cacheN,
-		MaxBodyBytes:  *maxBody,
-		MaxGridCells:  *gridCells,
-		MaxSimTrials:  *simTrials,
-		AccessLog:     accessW,
-		SlowThreshold: *slow,
-		TraceWriter:   traceW,
+		CacheEntries:       *cacheN,
+		MaxBodyBytes:       *maxBody,
+		MaxGridCells:       *gridCells,
+		MaxSimTrials:       *simTrials,
+		MaxFleetBrickYears: *fleetBY,
+		AccessLog:          accessW,
+		SlowThreshold:      *slow,
+		TraceWriter:        traceW,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

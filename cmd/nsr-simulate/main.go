@@ -7,6 +7,12 @@
 //	              failure-accelerated regime, against the exact chain;
 //	-mode biased  rare-event estimation of the *baseline* chains with
 //	              balanced failure biasing, against dense linear algebra.
+//
+// A third, flag-selected mode simulates an entire fleet at baseline
+// rates: -fleet runs the aggregating fleet estimator over -bricks
+// storage nodes for -years years (a million-brick decade completes in
+// seconds on the calendar-queue engine) and compares the observed
+// per-node-set MTTDL against the exact chain.
 package main
 
 import (
@@ -45,6 +51,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	trials := fs.Int("trials", 2000, "DES trials / 10× biased cycles")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs; 1 = the serial estimator, reproducing earlier releases exactly; >1 uses per-trial seed streams, bit-identical at any worker count)")
+	fleet := fs.Bool("fleet", false, "fleet mode: simulate -bricks storage nodes for -years years at baseline rates (overrides -mode)")
+	bricks := fs.Int("bricks", 1_000_000, "fleet size in bricks (storage nodes)")
+	years := fs.Float64("years", 10, "fleet mission horizon in years")
+	engine := fs.String("engine", "calendar", "fleet scheduler engine: calendar or heap (bit-identical results)")
+	ft := fs.Int("ft", 1, "fleet config: inter-node fault tolerance")
+	internal := fs.String("internal", "none", "fleet config: internal redundancy (none, raid5, raid6)")
 	oflags := obs.AddFlags(fs)
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -72,10 +84,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "seed %d\n", *seed)
 	ctx, root := sess.Trace(context.Background(), "nsr-simulate")
 	var runErr error
-	switch *mode {
-	case "des":
+	switch {
+	case *fleet:
+		runErr = runFleet(ctx, stdout, fleetOpts{
+			bricks: *bricks, years: *years, engine: *engine,
+			ft: *ft, internal: *internal,
+			seed: *seed, workers: *workers,
+		}, sess)
+	case *mode == "des":
 		runErr = runDES(ctx, stdout, *trials, *seed, *workers, sess)
-	case "biased":
+	case *mode == "biased":
 		runErr = runBiased(stdout, *trials*10, *seed, *workers, sess)
 	default:
 		runErr = fmt.Errorf("unknown mode %q", *mode)
@@ -222,6 +240,85 @@ func runBiased(stdout io.Writer, cycles int, seed int64, workers int, sess *obs.
 		fmt.Fprintf(stdout, "%-23s  %-15.6g  %9.6g ± %-8.2g  %.1f%%\n",
 			cfg, want, est.MTTA, 1.96*est.StdErr, 100*est.RelHalfWidth95())
 		obs.ProgressAdd(progress, 1)
+	}
+	return nil
+}
+
+// fleetOpts bundles the -fleet flag group.
+type fleetOpts struct {
+	bricks   int
+	years    float64
+	engine   string
+	ft       int
+	internal string
+	seed     int64
+	workers  int
+}
+
+// runFleet simulates the whole fleet at baseline rates with the
+// aggregating estimator and compares the observed per-node-set MTTDL
+// against the exact chain's MTTA.
+func runFleet(ctx context.Context, stdout io.Writer, o fleetOpts, sess *obs.Session) error {
+	engine, err := sim.ParseEngine(o.engine)
+	if err != nil {
+		return err
+	}
+	var ir core.InternalRedundancy
+	switch o.internal {
+	case "none":
+		ir = core.InternalNone
+	case "raid5":
+		ir = core.InternalRAID5
+	case "raid6":
+		ir = core.InternalRAID6
+	default:
+		return fmt.Errorf("unknown internal redundancy %q (valid: none, raid5, raid6)", o.internal)
+	}
+	p := params.Baseline()
+	cfg := core.Config{Internal: ir, NodeFaultTolerance: o.ft}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	sc, err := sim.ScenarioFromConfig(p, cfg, sim.RepairExponential)
+	if err != nil {
+		return err
+	}
+	var m *sim.FleetMetrics
+	if sess.Registry != nil {
+		m = sim.NewFleetMetrics(sess.Registry)
+	}
+	horizon := o.years * params.HoursPerYear
+	fmt.Fprintf(stdout, "Fleet DES: %d bricks, %g years, config %s, engine %s\n",
+		o.bricks, o.years, cfg, engine)
+	est, err := sim.EstimateFleetObservedCtx(ctx, sc, o.bricks, horizon, o.seed, o.workers,
+		0, engine, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "node sets        %d (N = %d bricks each)\n", est.NodeSets, sc.N)
+	fmt.Fprintf(stdout, "events           %d\n", est.Events)
+	fmt.Fprintf(stdout, "splits / merges  %d / %d (peak live records %d)\n", est.Splits, est.Merges, est.PeakLiveRecords)
+	fmt.Fprintf(stdout, "data losses      %d", est.Losses)
+	for c := sim.LossNone; c <= sim.LossRestripeUE; c++ {
+		if n := est.CauseCount(c); n > 0 {
+			fmt.Fprintf(stdout, "  %s=%d", c, n)
+		}
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "loss rate        %.6g / brick-year (± %.2g)\n", est.LossesPerBrickYear, 1.96*est.StdErr)
+	ch, err := buildChain(p, cfg)
+	if err != nil {
+		return err
+	}
+	want, err := markov.MTTA(ch)
+	if err != nil {
+		return err
+	}
+	if est.Losses > 0 {
+		fmt.Fprintf(stdout, "per-set MTTDL    %.6g h observed vs %.6g h chain (ratio %.3f)\n",
+			est.MTTDLHours, want, est.MTTDLHours/want)
+	} else {
+		fmt.Fprintf(stdout, "per-set MTTDL    no losses observed (chain MTTA %.6g h)\n", want)
 	}
 	return nil
 }

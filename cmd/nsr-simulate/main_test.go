@@ -51,3 +51,43 @@ func TestRunRejectsNegativeWorkers(t *testing.T) {
 		t.Errorf("run -workers -2 = %v, want a negative-workers error", err)
 	}
 }
+
+func TestRunFleetSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-fleet", "-bricks", "20000", "-years", "1", "-seed", "5"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"seed 5", "Fleet DES: 20000 bricks", "engine calendar",
+		"node sets", "data losses", "per-set MTTDL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The heap engine must print the identical report (bit-identical
+	// estimates are the cross-engine contract).
+	var heap bytes.Buffer
+	if err := run(append(args, "-engine", "heap"), &heap, &stderr); err != nil {
+		t.Fatalf("heap run: %v", err)
+	}
+	if got := strings.ReplaceAll(heap.String(), "engine heap", "engine calendar"); got != out {
+		t.Errorf("heap engine output differs:\n%s\nvs\n%s", heap.String(), out)
+	}
+}
+
+func TestRunFleetRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-fleet", "-engine", "wheel"},
+		{"-fleet", "-internal", "raid7"},
+		{"-fleet", "-ft", "0"},
+		{"-fleet", "-bricks", "0"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// acceleratedFleetBody is a fleet simulate request with failure rates
+// accelerated enough to observe losses in a sub-second solve.
+func acceleratedFleetBody(engine string) string {
+	eng := ""
+	if engine != "" {
+		eng = fmt.Sprintf(`,"engine":%q`, engine)
+	}
+	return `{"params":{"node_mttf_hours":1000,"drive_mttf_hours":500,"node_set_size":8,
+		"redundancy_set_size":4,"drives_per_node":3},
+		"config":{"internal":"none","ft":1},"seed":9,
+		"fleet":{"bricks":800,"years":2` + eng + `}}`
+}
+
+func TestSimulateFleetHappyPath(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	first := postJSON(t, h, "/v1/simulate", acceleratedFleetBody(""))
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body.String())
+	}
+	var resp FleetSimulateResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bricks != 800 || resp.NodeSets != 100 || resp.Seed != 9 {
+		t.Fatalf("fleet geometry %+v", resp)
+	}
+	if resp.Losses == 0 || resp.MTTDLHours == nil || *resp.MTTDLHours <= 0 {
+		t.Fatalf("accelerated fleet saw no losses: %+v", resp)
+	}
+	if resp.LossesPerBrickYear <= 0 || resp.StdErr <= 0 || resp.Events == 0 || resp.Splits == 0 {
+		t.Fatalf("degenerate fleet response %+v", resp)
+	}
+	var causeSum int64
+	for _, n := range resp.LossesByCause {
+		causeSum += n
+	}
+	if causeSum != resp.Losses {
+		t.Errorf("losses_by_cause sums to %d, want %d", causeSum, resp.Losses)
+	}
+
+	// Same request again: served from cache, byte-identical.
+	second := postJSON(t, h, "/v1/simulate", acceleratedFleetBody(""))
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("cached fleet response differs")
+	}
+	// The heap-engine spelling shares the cache entry: engines are
+	// bit-identical by the equivalence harness's contract, so the engine
+	// is not part of the canonical job.
+	third := postJSON(t, h, "/v1/simulate", acceleratedFleetBody("heap"))
+	if !bytes.Equal(first.Body.Bytes(), third.Body.Bytes()) {
+		t.Error("heap-engine fleet response differs from calendar's cached bytes")
+	}
+	if solves := s.Registry().Counter("serve.solves").Value(); solves != 1 {
+		t.Errorf("solves = %d, want 1 (cache + engine-independent key)", solves)
+	}
+	// The estimator's instrumentation reached the server registry.
+	if n := s.Registry().Counter("sim.fleet.bricks").Value(); n != 800 {
+		t.Errorf("sim.fleet.bricks = %d, want 800", n)
+	}
+}
+
+func TestSimulateFleetValidation(t *testing.T) {
+	s := New(Options{MaxFleetBrickYears: 1e6})
+	h := s.Handler()
+	cases := []struct {
+		name       string
+		body       string
+		wantSubstr string
+	}{
+		{"fleet with trials",
+			`{"config":{"internal":"none","ft":1},"trials":10,"fleet":{"bricks":100,"years":1}}`,
+			"does not take trials"},
+		{"fleet with max events",
+			`{"config":{"internal":"none","ft":1},"max_events_per_trial":5,"fleet":{"bricks":100,"years":1}}`,
+			"does not take trials"},
+		{"zero bricks",
+			`{"config":{"internal":"none","ft":1},"fleet":{"bricks":0,"years":1}}`,
+			"at least 1"},
+		{"zero years",
+			`{"config":{"internal":"none","ft":1},"fleet":{"bricks":100,"years":0}}`,
+			"must be positive"},
+		{"over brick-year limit",
+			`{"config":{"internal":"none","ft":1},"fleet":{"bricks":2000000,"years":1}}`,
+			"exceeds the limit"},
+		{"bad engine",
+			`{"config":{"internal":"none","ft":1},"fleet":{"bricks":100,"years":1,"engine":"wheel"}}`,
+			"wheel"},
+		{"bad repair",
+			`{"config":{"internal":"none","ft":1},"repair":"gamma","fleet":{"bricks":100,"years":1}}`,
+			"gamma"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, h, "/v1/simulate", tc.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", w.Code, w.Body.String())
+			}
+			if !strings.Contains(w.Body.String(), tc.wantSubstr) {
+				t.Errorf("body %q does not mention %q", w.Body.String(), tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestSimulateFleetCancellation: a disconnected client stops the fleet
+// solve between shard claims; nothing is cached, the worker slot and the
+// estimator's in-flight gauge both drain.
+func TestSimulateFleetCancellation(t *testing.T) {
+	s := New(Options{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	inflight := s.Registry().Gauge("serve.inflight")
+	// Default baseline parameters at full fleet scale: seconds of solve
+	// time, hundreds of shards, so cancellation lands mid-run.
+	body := `{"config":{"internal":"none","ft":1},"seed":3,"fleet":{"bricks":1000000,"years":10}}`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/simulate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("fleet solve completed with status %d, expected cancellation", resp.StatusCode)
+		}
+		errc <- err
+	}()
+
+	shards := s.Registry().Counter("sim.fleet.shards")
+	waitFor(t, 10*time.Second, func() bool { return inflight.Value() >= 1 && shards.Value() >= 1 })
+	cancel()
+	if err := <-errc; !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("client error = %v, want context canceled", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return inflight.Value() == 0 })
+	waitFor(t, 5*time.Second, func() bool { return s.Registry().Gauge("sim.fleet.inflight_shards").Value() == 0 })
+	if n := s.CacheLen(); n != 0 {
+		t.Errorf("cache holds %d entries after a cancelled fleet solve, want 0", n)
+	}
+}

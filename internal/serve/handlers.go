@@ -58,6 +58,31 @@ type SimulateResponse struct {
 	MeanEvents    float64 `json:"mean_events_per_trial"`
 }
 
+// FleetSimulateResponse is the body of a successful fleet-mode POST
+// /v1/simulate (SimulateRequest.Fleet set).
+type FleetSimulateResponse struct {
+	Configuration string  `json:"configuration"`
+	Seed          int64   `json:"seed"`
+	Bricks        int     `json:"bricks"`
+	NodeSets      int     `json:"node_sets"`
+	HorizonHours  float64 `json:"horizon_hours"`
+	BrickYears    float64 `json:"brick_years"`
+
+	Losses             int64            `json:"losses"`
+	LossesByCause      map[string]int64 `json:"losses_by_cause,omitempty"`
+	LossesPerBrickYear float64          `json:"losses_per_brick_year"`
+	StdErr             float64          `json:"stderr_per_brick_year"`
+	// MTTDLHours is per node set — directly comparable to the analytic
+	// chains' MTTA. Omitted (null) when no losses were observed, since
+	// +Inf has no JSON encoding.
+	MTTDLHours *float64 `json:"mttdl_hours"`
+
+	Events          int64 `json:"events"`
+	Splits          int64 `json:"splits"`
+	Merges          int64 `json:"merges"`
+	PeakLiveRecords int   `json:"peak_live_records"`
+}
+
 // errorResponse is the body of every non-2xx reply.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -255,6 +280,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Fleet != nil {
+		s.handleSimulateFleet(w, r, req, csp)
+		return
+	}
 	job, err := req.resolve(s.opts.MaxSimTrials)
 	if err != nil {
 		csp.End()
@@ -281,6 +310,59 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			StdErrHours:   est.StdErr,
 			MeanEvents:    est.MeanEvts,
 		})
+	})
+}
+
+// handleSimulateFleet is the fleet leg of POST /v1/simulate: one mission
+// horizon over a whole fleet via the aggregating estimator, cached under
+// the engine-independent canonical job (both engines are bit-identical
+// by the equivalence harness's contract, so either spelling shares the
+// entry and the cached bytes are exact for both).
+func (s *Server) handleSimulateFleet(w http.ResponseWriter, r *http.Request, req SimulateRequest, csp *obs.Span) {
+	job, engine, err := req.resolveFleet(s.opts.MaxFleetBrickYears)
+	if err != nil {
+		csp.End()
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	config := req.Config
+	key := canonicalKey("simulate-fleet", job)
+	csp.End()
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+		// Workers 0 = all CPUs; the estimate is bit-identical at any
+		// worker count, the precondition for caching it.
+		est, err := sim.EstimateFleetObservedCtx(ctx, job.Scenario, job.Bricks, job.HorizonHours,
+			job.Seed, 0, 0, engine, s.fleetMetrics)
+		if err != nil {
+			return nil, err
+		}
+		cfg, _ := config.resolve() // already validated during resolve
+		resp := FleetSimulateResponse{
+			Configuration:      cfg.String(),
+			Seed:               job.Seed,
+			Bricks:             est.Bricks,
+			NodeSets:           est.NodeSets,
+			HorizonHours:       est.HorizonHours,
+			BrickYears:         est.BrickYears,
+			Losses:             est.Losses,
+			LossesPerBrickYear: est.LossesPerBrickYear,
+			StdErr:             est.StdErr,
+			Events:             est.Events,
+			Splits:             est.Splits,
+			Merges:             est.Merges,
+			PeakLiveRecords:    est.PeakLiveRecords,
+		}
+		if est.Losses > 0 {
+			mttdl := est.MTTDLHours
+			resp.MTTDLHours = &mttdl
+			resp.LossesByCause = make(map[string]int64)
+			for c := sim.LossNone; c <= sim.LossRestripeUE; c++ {
+				if n := est.CauseCount(c); n > 0 {
+					resp.LossesByCause[c.String()] = n
+				}
+			}
+		}
+		return json.Marshal(resp)
 	})
 }
 

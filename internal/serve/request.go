@@ -264,6 +264,81 @@ type SimulateRequest struct {
 	// Repair selects the repair-time distribution: "" or "exponential",
 	// or "deterministic".
 	Repair string `json:"repair,omitempty"`
+	// Fleet switches the request to the fleet-scale estimator: one
+	// mission horizon over many bricks with brick-class aggregation,
+	// instead of Trials independent run-to-loss missions. Trials must be
+	// absent (0) when Fleet is set.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
+}
+
+// FleetSpec is the fleet leg of a SimulateRequest.
+type FleetSpec struct {
+	// Bricks is the fleet size in storage nodes (rounded up to whole
+	// node sets of NodeSetSize).
+	Bricks int `json:"bricks"`
+	// Years is the mission horizon in years.
+	Years float64 `json:"years"`
+	// Engine selects the scheduler: "" or "calendar", or "heap". Both
+	// produce bit-identical results (the equivalence harness enforces
+	// it), so the engine is excluded from the cache key.
+	Engine string `json:"engine,omitempty"`
+}
+
+// fleetJob is the canonical resolved form of a fleet simulate request.
+// The engine is deliberately not part of the job: engines are
+// bit-identical by contract, so both spellings share a cache entry.
+type fleetJob struct {
+	Scenario     sim.Scenario
+	Bricks       int
+	HorizonHours float64
+	Seed         int64
+}
+
+func (r SimulateRequest) resolveFleet(maxBrickYears float64) (fleetJob, sim.Engine, error) {
+	if r.Trials != 0 || r.MaxEventsPerTrial != 0 {
+		return fleetJob{}, 0, fmt.Errorf("fleet simulate does not take trials or max_events_per_trial")
+	}
+	p, err := resolveParams(r.Preset, r.Params)
+	if err != nil {
+		return fleetJob{}, 0, err
+	}
+	cfg, err := r.Config.resolve()
+	if err != nil {
+		return fleetJob{}, 0, err
+	}
+	var repair sim.RepairDistribution
+	switch r.Repair {
+	case "", "exponential":
+		repair = sim.RepairExponential
+	case "deterministic":
+		repair = sim.RepairDeterministic
+	default:
+		return fleetJob{}, 0, fmt.Errorf("unknown repair distribution %q (valid: exponential, deterministic)", r.Repair)
+	}
+	sc, err := sim.ScenarioFromConfig(p, cfg, repair)
+	if err != nil {
+		return fleetJob{}, 0, err
+	}
+	engine, err := sim.ParseEngine(r.Fleet.Engine)
+	if err != nil {
+		return fleetJob{}, 0, err
+	}
+	if r.Fleet.Bricks < 1 {
+		return fleetJob{}, 0, fmt.Errorf("fleet bricks %d must be at least 1", r.Fleet.Bricks)
+	}
+	if !(r.Fleet.Years > 0) {
+		return fleetJob{}, 0, fmt.Errorf("fleet years %v must be positive", r.Fleet.Years)
+	}
+	if by := float64(r.Fleet.Bricks) * r.Fleet.Years; by > maxBrickYears {
+		return fleetJob{}, 0, fmt.Errorf("fleet workload of %g brick-years (%d bricks × %g years) exceeds the limit of %g",
+			by, r.Fleet.Bricks, r.Fleet.Years, maxBrickYears)
+	}
+	return fleetJob{
+		Scenario:     sc,
+		Bricks:       r.Fleet.Bricks,
+		HorizonHours: r.Fleet.Years * params.HoursPerYear,
+		Seed:         r.Seed,
+	}, engine, nil
 }
 
 // simulateJob is the canonical resolved form of a simulate request.

@@ -67,6 +67,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/obs"
 	"repro/internal/rebuild"
+	"repro/internal/sim"
 )
 
 // Options configures a Server. The zero value selects the defaults.
@@ -79,6 +80,9 @@ type Options struct {
 	MaxGridCells int
 	// MaxSimTrials caps a simulate request's trial count (default 20000).
 	MaxSimTrials int
+	// MaxFleetBrickYears caps a fleet simulate request's bricks × years
+	// product (default 2e7 — a million-brick fleet for two decades).
+	MaxFleetBrickYears float64
 	// Registry receives the server's metrics; nil creates a fresh one.
 	// The solver substrates (markov, linalg, rebuild) are instrumented on
 	// it too, so /metrics exposes the full stack.
@@ -108,6 +112,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSimTrials <= 0 {
 		o.MaxSimTrials = 20_000
+	}
+	if o.MaxFleetBrickYears <= 0 {
+		o.MaxFleetBrickYears = 2e7
 	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
@@ -201,6 +208,9 @@ type Server struct {
 	// a queued request that disconnects leaves the queue immediately.
 	sem chan struct{}
 	mux *http.ServeMux
+	// fleetMetrics instruments the fleet estimator on the registry
+	// (sim.fleet.* counters and gauges on /metrics).
+	fleetMetrics *sim.FleetMetrics
 
 	http *http.Server
 	// baseCtx parents every request context; cancelled after drain so
@@ -227,10 +237,11 @@ func New(opts Options) *Server {
 			reg.Counter("serve.cache.hits"),
 			reg.Counter("serve.cache.misses"),
 			reg.Counter("serve.cache.evictions")),
-		sem:        make(chan struct{}, core.MaxWorkers()),
-		mux:        http.NewServeMux(),
-		baseCtx:    baseCtx,
-		cancelBase: cancel,
+		sem:          make(chan struct{}, core.MaxWorkers()),
+		mux:          http.NewServeMux(),
+		baseCtx:      baseCtx,
+		cancelBase:   cancel,
+		fleetMetrics: sim.NewFleetMetrics(reg),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.instrument("analyze", true, s.handleAnalyze))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", true, s.handleSweep))

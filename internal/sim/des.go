@@ -182,7 +182,7 @@ func (c LossCause) String() string {
 type des struct {
 	sc          Scenario
 	rng         *rand.Rand
-	q           eventQueue
+	q           scheduler
 	now         float64
 	seq         uint64
 	nodes       []desNode
@@ -197,7 +197,11 @@ type des struct {
 	// contention-free.
 	m         *Metrics
 	recs      *desRecorders
-	kindCount [evShock + 1]int64
+	kindCount [numEventKinds]int64
+
+	// onEvent, when non-nil, observes every popped event in dispatch
+	// order — the cross-engine harness's sequence probe.
+	onEvent func(event)
 }
 
 // desRecorders batches the per-repair histogram samples locally; Flush
@@ -233,11 +237,27 @@ func RunUntilLoss(sc Scenario, rng *rand.Rand, maxEvents int) (LossResult, error
 	return runUntilLoss(sc, rng, maxEvents, nil, nil)
 }
 
+// RunUntilLossEngine is RunUntilLoss on an explicit scheduler engine.
+// Every engine pops the same event total order, so the trajectory — every
+// event, every RNG draw, the result — is bit-identical across engines;
+// the cross-engine harness enforces exactly that.
+func RunUntilLossEngine(sc Scenario, rng *rand.Rand, maxEvents int, engine Engine) (LossResult, error) {
+	if err := engine.validate(); err != nil {
+		return LossResult{}, err
+	}
+	return runUntilLossEngine(sc, rng, maxEvents, nil, nil, engine, nil)
+}
+
 func runUntilLoss(sc Scenario, rng *rand.Rand, maxEvents int, m *Metrics, recs *desRecorders) (LossResult, error) {
+	return runUntilLossEngine(sc, rng, maxEvents, m, recs, EngineHeap, nil)
+}
+
+func runUntilLossEngine(sc Scenario, rng *rand.Rand, maxEvents int, m *Metrics, recs *desRecorders, engine Engine, onEvent func(event)) (LossResult, error) {
 	if err := sc.Validate(); err != nil {
 		return LossResult{}, err
 	}
-	d := &des{sc: sc, rng: rng, m: m, recs: recs}
+	d := &des{sc: sc, rng: rng, m: m, recs: recs, onEvent: onEvent}
+	d.q = newScheduler(engine)
 	if m != nil && recs == nil {
 		d.recs = newDESRecorders(m)
 	}
@@ -262,6 +282,9 @@ func runUntilLoss(sc Scenario, rng *rand.Rand, maxEvents int, m *Metrics, recs *
 		if d.m != nil {
 			d.kindCount[e.kind]++
 		}
+		if d.onEvent != nil {
+			d.onEvent(e)
+		}
 		d.dispatch(e)
 	}
 	d.flushMetrics()
@@ -274,7 +297,7 @@ func (d *des) flushMetrics() {
 		return
 	}
 	d.m.Events.Add(int64(d.events))
-	for k := evNodeFail; k <= evShock; k++ {
+	for k := evNodeFail; k < numEventKinds; k++ {
 		if c := d.kindCount[k]; c != 0 {
 			d.m.byKind[k].Add(c)
 		}

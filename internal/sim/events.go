@@ -9,7 +9,11 @@
 //     simplifications;
 //   - a regenerative rare-event estimator with balanced failure biasing
 //     over any absorbing markov.Chain, for MTTDL regimes far beyond what
-//     naive simulation can reach.
+//     naive simulation can reach;
+//   - a fleet-scale estimator that simulates millions of bricks (storage
+//     nodes, grouped into node sets of N) over a mission horizon by
+//     aggregating identical fully-healthy node sets into one counted
+//     record (see fleet.go).
 package sim
 
 import (
@@ -17,7 +21,8 @@ import (
 	"fmt"
 )
 
-// eventKind enumerates simulator events.
+// eventKind enumerates simulator events. The order is part of the event
+// tie-break contract below, so new kinds append only.
 type eventKind int
 
 const (
@@ -27,6 +32,14 @@ const (
 	evDriveRebuildDone
 	evRestripeDone
 	evShock
+	// evClassArrival is the next failure arrival of the aggregated
+	// healthy-node-set class (fleet engine only).
+	evClassArrival
+	// evSetArrival is the next component-failure arrival of one split
+	// node set, sampled by competing risks (fleet engine only).
+	evSetArrival
+
+	numEventKinds = evSetArrival + 1
 )
 
 // String returns the snake_case metric tag of the kind.
@@ -44,26 +57,74 @@ func (k eventKind) String() string {
 		return "restripe_done"
 	case evShock:
 		return "shock"
+	case evClassArrival:
+		return "class_arrival"
+	case evSetArrival:
+		return "set_arrival"
 	default:
 		return fmt.Sprintf("eventKind(%d)", int(k))
 	}
 }
 
 // event is one scheduled occurrence. The node/drive fields identify the
-// target component; seq disambiguates stale events after state changes.
+// target component; set identifies the owning node-set record in the
+// fleet engine (0 in the single-system simulator); seq disambiguates
+// stale events after state changes.
 type event struct {
 	at    float64
 	kind  eventKind
+	set   int32
 	node  int
 	drive int
 	seq   uint64
 }
 
-// eventQueue is a min-heap on event time.
+// less is the scheduler ordering: time first, then the explicit
+// (kind, set, node, drive, seq) tie-break. Equal-time events are a
+// measure-zero accident of continuous draws, but the tie-break is a
+// *contract*, not a heap accident: every engine pops the same total order,
+// which is what makes heap-vs-calendar event sequences comparable byte for
+// byte. The order is strict — no two live events compare equal, because
+// (kind, set, node, drive) identifies a pending slot and seq
+// disambiguates reschedules of that slot.
+func (e event) less(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.kind != o.kind {
+		return e.kind < o.kind
+	}
+	if e.set != o.set {
+		return e.set < o.set
+	}
+	if e.node != o.node {
+		return e.node < o.node
+	}
+	if e.drive != o.drive {
+		return e.drive < o.drive
+	}
+	return e.seq < o.seq
+}
+
+// scheduler is the event-queue contract the simulators run on: schedule
+// inserts, next removes and returns the minimum under event.less, Len
+// reports pending events. Cancellation is lazy everywhere — dispatchers
+// discard stale events by seq — so schedulers never delete in place.
+//
+// Two engines implement it: eventQueue (container/heap, the reference)
+// and calendarQueue (bucketed, the fleet-scale engine). The cross-engine
+// harness in equivalence_test.go holds them to identical pop sequences.
+type scheduler interface {
+	schedule(e event)
+	next() event
+	Len() int
+}
+
+// eventQueue is a min-heap on the event ordering — the reference engine.
 type eventQueue []event
 
 func (q eventQueue) Len() int            { return len(q) }
-func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Less(i, j int) bool  { return q[i].less(q[j]) }
 func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
 func (q *eventQueue) Pop() interface{} {
@@ -79,3 +140,11 @@ func (q *eventQueue) schedule(e event) { heap.Push(q, e) }
 
 // next pops the earliest event.
 func (q *eventQueue) next() event { return heap.Pop(q).(event) }
+
+// newScheduler builds the queue for an engine choice.
+func newScheduler(e Engine) scheduler {
+	if e == EngineCalendar {
+		return newCalendarQueue()
+	}
+	return &eventQueue{}
+}

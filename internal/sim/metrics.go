@@ -24,7 +24,7 @@ type Metrics struct {
 	// LossHours samples the simulated time-to-data-loss per mission.
 	LossHours *obs.Histogram
 
-	byKind  [evShock + 1]*obs.Counter
+	byKind  [numEventKinds]*obs.Counter
 	byCause [lossCauseCount]*obs.Counter
 }
 
@@ -38,7 +38,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		RestripeHours:     reg.Histogram("sim.restripe_hours", obs.ExpBuckets(0.01, 2, 24)),
 		LossHours:         reg.Histogram("sim.loss_hours", obs.ExpBuckets(1, 4, 24)),
 	}
-	for k := evNodeFail; k <= evShock; k++ {
+	for k := evNodeFail; k < numEventKinds; k++ {
 		m.byKind[k] = reg.Counter("sim.events." + k.String())
 	}
 	for c := LossTolerance; c < lossCauseCount; c++ {
