@@ -8,6 +8,7 @@ package combinat
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 )
 
@@ -165,11 +166,27 @@ func AllWords(k int) []Word {
 
 // HSet returns the ordered parameter set h^(k) = {h_α : α ∈ {N,d}^k} in the
 // order of AllWords(k), as consumed by the appendix's L_k recursion.
+//
+// It exploits the order's structure instead of materializing the words:
+// AllWords(k)[i] has letter pattern given by the bits of i (most
+// significant first, 1 = drive failure), so #d(α) = popcount(i) and
+// h_α = BaseH · d^(1-popcount(i)) — one BaseH and k+1 powers of d total
+// instead of per-word recomputation (the design-space optimizer
+// evaluates tens of thousands of these per search). Every float is
+// produced by the same operations as the word-by-word path, so results
+// are bit-identical (TestHSetMatchesWordByWord).
 func HSet(n, r, d int, cher float64, k int) []float64 {
-	words := AllWords(k)
-	out := make([]float64, len(words))
-	for i, w := range words {
-		out[i] = H(n, r, d, cher, w)
+	if k < 0 {
+		panic(fmt.Sprintf("combinat: HSet with negative k = %d", k))
+	}
+	h := BaseH(n, r, k, cher)
+	powD := make([]float64, k+1)
+	for j := 0; j <= k; j++ {
+		powD[j] = math.Pow(float64(d), float64(1-j))
+	}
+	out := make([]float64, 1<<k)
+	for i := range out {
+		out[i] = h * powD[bits.OnesCount(uint(i))]
 	}
 	return out
 }

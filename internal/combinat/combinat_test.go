@@ -233,3 +233,35 @@ func TestSetCounts(t *testing.T) {
 		t.Errorf("SetsPerNode = %v", got)
 	}
 }
+
+// The closed-form HSet must reproduce the word-by-word reference —
+// h_α computed from AllWords(k) and H — bit for bit: the popcount
+// shortcut reuses the exact same BaseH and Pow values, so not even the
+// last ulp may move.
+func TestHSetMatchesWordByWord(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		for _, tc := range []struct {
+			n, r, d int
+			cher    float64
+		}{
+			{64, 12, 12, 2.4e-2},
+			{128, 64, 8, 1e-3},
+			{16, 10, 4, 0.5},
+		} {
+			if tc.r <= k {
+				continue
+			}
+			got := HSet(tc.n, tc.r, tc.d, tc.cher, k)
+			words := AllWords(k)
+			if len(got) != len(words) {
+				t.Fatalf("k=%d: HSet has %d entries, want %d", k, len(got), len(words))
+			}
+			for i, w := range words {
+				if want := H(tc.n, tc.r, tc.d, tc.cher, w); got[i] != want {
+					t.Errorf("k=%d N=%d R=%d d=%d: HSet[%d] (word %v) = %g, want %g",
+						k, tc.n, tc.r, tc.d, i, w, got[i], want)
+				}
+			}
+		}
+	}
+}

@@ -73,6 +73,118 @@ var chunkPool = sync.Pool{
 	New: func() any { return &batchChunk{bs: markov.AcquireBatchSolver()} },
 }
 
+// AnalyzeChainBatchCtx analyzes every parameter set in ps under one
+// fixed configuration with MethodExactChain, batching all cells through
+// a single bound markov.BatchSolver: the cells share one frozen chain
+// topology (guaranteed structurally — the model builders' state/edge
+// sets are functions of the fault tolerance alone, never of the
+// parameters), one CSR pattern and one symbolic factorization. This is
+// the sweep engine's chunk body exposed for callers whose cells vary
+// many parameters at once (the design-space optimizer in internal/plan)
+// instead of one swept knob.
+//
+// out[i] receives ps[i]'s Result; every result is bit-identical to
+// AnalyzeCtx(ctx, ps[i], cfg, MethodExactChain). On failure the return
+// is the index of the lowest failing cell and exactly the error the
+// per-cell path would have reported for it; on cancellation it is
+// (-1, ctx.Err()). len(out) must be at least len(ps).
+func AnalyzeChainBatchCtx(ctx context.Context, cfg Config, ps []params.Parameters, out []Result) (int, error) {
+	if len(ps) == 0 {
+		return -1, nil
+	}
+	bc := chunkPool.Get().(*batchChunk)
+	defer chunkPool.Put(bc)
+	if cap(bc.preps) < len(ps) {
+		bc.preps = make([]analysisPrep, len(ps))
+	} else {
+		bc.preps = bc.preps[:len(ps)]
+	}
+	bs := bc.bs
+	isNIR := cfg.Internal == InternalNone
+
+	var (
+		nir *model.NIRRefiller
+		ir  *model.IRRefiller
+	)
+	defer func() {
+		if nir != nil {
+			nir.Release()
+		}
+		if ir != nil {
+			ir.Release()
+		}
+	}()
+
+	// Fill pass: one prep + string-free refill + slab scatter per cell,
+	// stopping at the first failing fill (its error only stands if no
+	// earlier cell fails its solve).
+	filled := 0
+	fillFail := -1
+	var fillErr error
+	for i := range ps {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		pr, err := analyzePrep(ps[i], cfg, MethodExactChain)
+		if err != nil {
+			fillFail, fillErr = i, err
+			break
+		}
+		var ch *markov.Chain
+		if isNIR {
+			if nir == nil {
+				nir = model.AcquireNIRRefiller(pr.nir, pr.k)
+				ch = nir.Chain()
+			} else {
+				ch = nir.Refill(pr.nir)
+			}
+		} else {
+			if ir == nil {
+				ir = model.AcquireIRRefiller(pr.ir, pr.k)
+				ch = ir.Chain()
+			} else {
+				ch = ir.Refill(pr.ir)
+			}
+		}
+		if i == 0 {
+			if err := bs.Bind(ctx, ch); err != nil {
+				return 0, chainSolveError(isNIR, err)
+			}
+			bs.Cells(len(ps))
+		}
+		if err := bs.ValidateRates(ch); err != nil {
+			fillFail, fillErr = i, chainSolveError(isNIR, err)
+			break
+		}
+		bs.Fill(i, ch)
+		bc.preps[i] = pr
+		filled++
+	}
+
+	if filled > 0 {
+		endChunk := bs.StartChunk(ctx, filled)
+		defer endChunk()
+	}
+	for i := 0; i < filled; i++ {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		mtta, err := bs.SolveCell(i)
+		if err != nil {
+			return i, chainSolveError(isNIR, err)
+		}
+		r, err := bc.preps[i].finish(mtta)
+		if err != nil {
+			return i, err
+		}
+		out[i] = r
+	}
+	if fillErr != nil {
+		return fillFail, fillErr
+	}
+	return -1, nil
+}
+
 // sweepBatch runs a MethodExactChain grid through chunked batch solves.
 // Chunks are (configuration, x-range) slices of the grid, fanned across
 // the same bounded pool the per-cell path uses; chunk claiming is

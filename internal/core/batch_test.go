@@ -243,6 +243,97 @@ func TestSweepStreamNilEmit(t *testing.T) {
 	}
 }
 
+// AnalyzeChainBatchCtx is the optimizer's confirmation kernel: a slab of
+// parameter sets under one configuration must come back bit-identical to
+// the per-cell exact-chain path, for NIR and internal-RAID configs alike,
+// even when every parameter (not just one swept knob) varies per cell.
+func TestAnalyzeChainBatchMatchesPerCellBitwise(t *testing.T) {
+	cfgs := []Config{
+		{Internal: InternalNone, NodeFaultTolerance: 2},
+		{Internal: InternalRAID5, NodeFaultTolerance: 1},
+	}
+	for _, cfg := range cfgs {
+		t.Run(cfg.String(), func(t *testing.T) {
+			var ps []params.Parameters
+			for _, n := range []int{32, 64} {
+				for _, r := range []int{4, 8} {
+					for _, util := range []float64{0.5, 0.8, 0.95} {
+						for _, cmd := range []float64{128 * params.KiB, 1 * params.MiB} {
+							p := params.Baseline()
+							p.NodeSetSize = n
+							p.RedundancySetSize = r
+							p.CapacityUtilization = util
+							p.RebuildCommandBytes = cmd
+							ps = append(ps, p)
+						}
+					}
+				}
+			}
+			ref := make([]Result, len(ps))
+			for i, p := range ps {
+				r, err := AnalyzeCtx(context.Background(), p, cfg, MethodExactChain)
+				if err != nil {
+					t.Fatalf("per-cell analyze[%d]: %v", i, err)
+				}
+				ref[i] = r
+			}
+			got := make([]Result, len(ps))
+			idx, err := AnalyzeChainBatchCtx(context.Background(), cfg, ps, got)
+			if err != nil {
+				t.Fatalf("batch analyze: cell %d: %v", idx, err)
+			}
+			if idx != -1 {
+				t.Fatalf("successful batch returned index %d, want -1", idx)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Error("batched results differ from per-cell path")
+			}
+		})
+	}
+}
+
+// A bad cell mid-slab is reported with the per-cell path's exact error
+// and its index; earlier cells' results are already written.
+func TestAnalyzeChainBatchErrorMatchesPerCell(t *testing.T) {
+	cfg := Config{Internal: InternalNone, NodeFaultTolerance: 2}
+	ps := make([]params.Parameters, 5)
+	for i := range ps {
+		ps[i] = params.Baseline()
+	}
+	ps[3].NodeSetSize = 2 // too small for ft 2
+	_, want := AnalyzeCtx(context.Background(), ps[3], cfg, MethodExactChain)
+	if want == nil {
+		t.Fatal("per-cell analysis of invalid geometry unexpectedly succeeded")
+	}
+	out := make([]Result, len(ps))
+	idx, err := AnalyzeChainBatchCtx(context.Background(), cfg, ps, out)
+	if idx != 3 {
+		t.Errorf("failing index = %d, want 3", idx)
+	}
+	if err == nil || err.Error() != want.Error() {
+		t.Errorf("batch error = %v, want %v", err, want)
+	}
+	ref, _ := AnalyzeCtx(context.Background(), ps[0], cfg, MethodExactChain)
+	if out[0] != ref {
+		t.Error("cell 0 result not written before the failing cell")
+	}
+}
+
+// Empty input and cancelled contexts take the documented early exits.
+func TestAnalyzeChainBatchEdges(t *testing.T) {
+	cfg := Config{Internal: InternalNone, NodeFaultTolerance: 1}
+	if idx, err := AnalyzeChainBatchCtx(context.Background(), cfg, nil, nil); idx != -1 || err != nil {
+		t.Errorf("empty batch = (%d, %v), want (-1, nil)", idx, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ps := []params.Parameters{params.Baseline()}
+	out := make([]Result, 1)
+	if idx, err := AnalyzeChainBatchCtx(ctx, cfg, ps, out); idx != -1 || err != context.Canceled {
+		t.Errorf("cancelled batch = (%d, %v), want (-1, context.Canceled)", idx, err)
+	}
+}
+
 // Series satellite: empty input yields an empty series; an out-of-range
 // configuration index panics rather than fabricating zeros.
 func TestSeriesEmptyPoints(t *testing.T) {

@@ -58,6 +58,16 @@ func ValidateWorkers(n int) error {
 	return nil
 }
 
+// RunIndexedCtx exposes the analysis layer's bounded deterministic
+// fan-out to sibling packages (internal/plan rides it for design-space
+// searches): fn(0), …, fn(n-1) on the MaxWorkers pool with the serial
+// loop's lowest-failing-index error semantics and per-index cancellation
+// polling. Results are identical at any worker count provided fn writes
+// only into caller-indexed slots.
+func RunIndexedCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return runIndexedCtx(ctx, n, fn)
+}
+
 // runIndexed evaluates fn(0), …, fn(n-1) on a bounded worker pool and
 // returns the error of the lowest failing index (nil if all succeed).
 // fn must be safe to call concurrently and should write its result into

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/params"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/version"
 )
@@ -363,6 +364,41 @@ func (s *Server) handleSimulateFleet(w http.ResponseWriter, r *http.Request, req
 			}
 		}
 		return json.Marshal(resp)
+	})
+}
+
+// handlePlan is POST /v1/plan: the two-phase redundancy-apportionment
+// search (internal/plan). The response body is the optimizer's
+// plan.Result JSON — stats partition, effective target, and the ranked
+// exact Pareto frontier. The search is deterministic at any worker
+// count, so the cached bytes equal a fresh solve's, and its hot loops
+// (enumeration, batched confirmation) poll the request context, so a
+// dead client stops the search mid-space and caches nothing.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	_, csp := obs.StartSpan(r.Context(), "serve.canonicalize")
+	var req PlanRequest
+	if err := decodeRequest(r.Body, s.opts.MaxBodyBytes, &req); err != nil {
+		csp.End()
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := req.resolve(s.opts.MaxPlanCandidates)
+	if err != nil {
+		csp.End()
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := canonicalKey("plan", job)
+	csp.End()
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+		res, err := plan.SearchCtx(ctx, job.Params, job.Space, job.Cons, plan.Options{Top: job.Top})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
 	})
 }
 

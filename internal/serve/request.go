@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/params"
+	"repro/internal/plan"
 	"repro/internal/sim"
 )
 
@@ -385,6 +386,121 @@ func (r SimulateRequest) resolve(maxTrials int) (simulateJob, error) {
 		return simulateJob{}, fmt.Errorf("max_events_per_trial %d must be positive", r.MaxEventsPerTrial)
 	}
 	return simulateJob{Scenario: sc, Seed: r.Seed, Trials: r.Trials, MaxEvts: maxEvts}, nil
+}
+
+// PlanSpaceSpec is the wire form of a design-space override for POST
+// /v1/plan. Every dimension is optional: an absent (or empty) slice
+// keeps the stock plan.DefaultSpace values, so a request only spells
+// the dimensions it narrows or extends.
+type PlanSpaceSpec struct {
+	// Internals lists internal redundancy schemes by wire name ("none",
+	// "raid5", "raid6").
+	Internals          []string  `json:"internals,omitempty"`
+	FaultTolerances    []int     `json:"fault_tolerances,omitempty"`
+	RedundancySetSizes []int     `json:"redundancy_set_sizes,omitempty"`
+	SpareNodes         []int     `json:"spare_nodes,omitempty"`
+	Utilizations       []float64 `json:"utilizations,omitempty"`
+	RebuildBytes       []float64 `json:"rebuild_bytes,omitempty"`
+}
+
+// resolve overlays the spec onto the stock space. Dimension order is
+// preserved as spelled: it fixes the optimizer's enumeration order and
+// thus the deterministic tie-breaking identity of every candidate.
+func (ps *PlanSpaceSpec) resolve() (plan.Space, error) {
+	space := plan.DefaultSpace()
+	if ps == nil {
+		return space, nil
+	}
+	if len(ps.Internals) > 0 {
+		irs := make([]core.InternalRedundancy, len(ps.Internals))
+		for i, name := range ps.Internals {
+			cfg, err := (ConfigSpec{Internal: name, FT: 1}).resolve()
+			if err != nil {
+				return plan.Space{}, fmt.Errorf("space.internals[%d]: %w", i, err)
+			}
+			irs[i] = cfg.Internal
+		}
+		space.Internals = irs
+	}
+	if len(ps.FaultTolerances) > 0 {
+		space.FaultTolerances = ps.FaultTolerances
+	}
+	if len(ps.RedundancySetSizes) > 0 {
+		space.RedundancySetSizes = ps.RedundancySetSizes
+	}
+	if len(ps.SpareNodes) > 0 {
+		space.SpareNodes = ps.SpareNodes
+	}
+	if len(ps.Utilizations) > 0 {
+		space.Utilizations = ps.Utilizations
+	}
+	if len(ps.RebuildBytes) > 0 {
+		space.RebuildBytes = ps.RebuildBytes
+	}
+	return space, nil
+}
+
+// PlanRequest is the body of POST /v1/plan: a two-phase design-space
+// search (closed-form prune, batched exact confirmation) returning the
+// exact Pareto frontier on (cost, capacity, reliability).
+type PlanRequest struct {
+	Preset string         `json:"preset,omitempty"`
+	Params *ParamsPatch   `json:"params,omitempty"`
+	Space  *PlanSpaceSpec `json:"space,omitempty"`
+	// TargetEventsPerPBYear is the reliability target (0 = the paper's
+	// 2e-3 events/PB-year).
+	TargetEventsPerPBYear float64 `json:"target_events_per_pb_year,omitempty"`
+	MaxCostDrives         float64 `json:"max_cost_drives,omitempty"`
+	MinCapacityPB         float64 `json:"min_capacity_pb,omitempty"`
+	NodeCostDrives        float64 `json:"node_cost_drives,omitempty"`
+	// Top truncates the ranked frontier (0 = all).
+	Top int `json:"top,omitempty"`
+}
+
+// planJob is the canonical resolved form of a plan request: the preset
+// and patch flattened into the full parameter set, the space overlaid
+// onto the stock one, and the default target made explicit — so every
+// spelling of the same search shares one cache entry.
+type planJob struct {
+	Params params.Parameters
+	Space  plan.Space
+	Cons   plan.Constraints
+	Top    int
+}
+
+func (r PlanRequest) resolve(maxCandidates int) (planJob, error) {
+	p, err := resolveParams(r.Preset, r.Params)
+	if err != nil {
+		return planJob{}, err
+	}
+	space, err := r.Space.resolve()
+	if err != nil {
+		return planJob{}, err
+	}
+	if err := space.Validate(); err != nil {
+		return planJob{}, err
+	}
+	if n := space.Size(); n > maxCandidates {
+		return planJob{}, fmt.Errorf("design space of %d candidates exceeds the limit of %d", n, maxCandidates)
+	}
+	cons := plan.Constraints{
+		TargetEventsPerPBYear: r.TargetEventsPerPBYear,
+		MaxCostDrives:         r.MaxCostDrives,
+		MinCapacityPB:         r.MinCapacityPB,
+		NodeCostDrives:        r.NodeCostDrives,
+	}
+	if cons.TargetEventsPerPBYear == 0 {
+		// Canonicalize the default so "absent" and "explicitly the
+		// paper's target" share a cache key.
+		cons.TargetEventsPerPBYear = core.PaperTarget().EventsPerPBYear
+	}
+	if err := cons.Validate(); err != nil {
+		return planJob{}, err
+	}
+	if r.Top < 0 {
+		return planJob{}, fmt.Errorf("top %d must be >= 0", r.Top)
+	}
+	return planJob{Params: p, Space: space, Cons: cons, Top: r.Top}, nil
 }
 
 // decodeRequest strictly decodes one JSON document into dst: unknown

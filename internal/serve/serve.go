@@ -7,6 +7,7 @@
 //	POST /v1/analyze   one configuration's reliability analysis
 //	POST /v1/sweep     a parameter sweep across configurations
 //	POST /v1/simulate  a Monte Carlo MTTDL estimate (deterministic DES)
+//	POST /v1/plan      a design-space search for the exact Pareto frontier
 //	GET  /healthz      liveness probe + build identity
 //	GET  /metrics      obs registry (Prometheus text; ?format=json|text)
 //
@@ -66,6 +67,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/markov"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/rebuild"
 	"repro/internal/sim"
 )
@@ -83,6 +85,9 @@ type Options struct {
 	// MaxFleetBrickYears caps a fleet simulate request's bricks × years
 	// product (default 2e7 — a million-brick fleet for two decades).
 	MaxFleetBrickYears float64
+	// MaxPlanCandidates caps a plan request's design-space size (default
+	// 20000 — comfortably above the stock 10800-candidate space).
+	MaxPlanCandidates int
 	// Registry receives the server's metrics; nil creates a fresh one.
 	// The solver substrates (markov, linalg, rebuild) are instrumented on
 	// it too, so /metrics exposes the full stack.
@@ -116,6 +121,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxFleetBrickYears <= 0 {
 		o.MaxFleetBrickYears = 2e7
 	}
+	if o.MaxPlanCandidates <= 0 {
+		o.MaxPlanCandidates = 20_000
+	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
@@ -147,7 +155,7 @@ type metrics struct {
 
 // endpoints lists every routed endpoint; the compute entries solve, the
 // rest are probes.
-var endpoints = []string{"analyze", "sweep", "simulate", "healthz", "metrics"}
+var endpoints = []string{"analyze", "sweep", "simulate", "plan", "healthz", "metrics"}
 
 func newMetrics(reg *obs.Registry) *metrics {
 	m := &metrics{
@@ -226,6 +234,7 @@ func New(opts Options) *Server {
 	markov.Instrument(reg)
 	linalg.Instrument(reg)
 	rebuild.Instrument(reg)
+	plan.Instrument(reg)
 	m := newMetrics(reg)
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -246,6 +255,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/analyze", s.instrument("analyze", true, s.handleAnalyze))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", true, s.handleSweep))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", true, s.handleSimulate))
+	s.mux.HandleFunc("/v1/plan", s.instrument("plan", true, s.handlePlan))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
 	return s
